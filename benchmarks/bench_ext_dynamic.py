@@ -1,0 +1,18 @@
+"""Extension — METAL on a mutating index (invalidation path end-to-end)."""
+
+from conftest import run_once
+
+from repro.bench.dynamic import format_dynamic_mix, run_dynamic_mix
+
+
+def test_dynamic_mix(benchmark):
+    results = run_once(
+        benchmark, run_dynamic_mix, num_records=3_000, num_ops=2_500
+    )
+    print()
+    print(format_dynamic_mix(results))
+    by_name = {r.system: r for r in results}
+    # Every system stays functionally coherent under churn...
+    assert all(r.invalidations_survived for r in results)
+    # ...and the IX-cache still beats streaming despite invalidations.
+    assert by_name["metal_ix"].makespan < by_name["stream"].makespan

@@ -1,0 +1,16 @@
+"""Fig. 7 — tag-match logic table (published synthesis constants)."""
+
+from conftest import run_once
+
+from repro.bench.tagmatch import format_fig7, run_tagmatch
+from repro.params import IXCACHE_ENERGY_FJ
+
+
+def test_fig07_tagmatch(benchmark):
+    designs = run_once(benchmark, run_tagmatch)
+    print()
+    print(format_fig7(designs))
+    metal = designs[-1]
+    assert metal.process_nm == 45
+    assert metal.power_mw < min(d.power_mw for d in designs[:-1])
+    assert IXCACHE_ENERGY_FJ > 0

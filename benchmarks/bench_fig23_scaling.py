@@ -1,0 +1,39 @@
+"""Fig. 23 — METAL vs index size (records and depth sweeps on JOIN)."""
+
+from conftest import run_once
+
+from repro.bench.scaling import (
+    format_fig23a,
+    format_fig23b,
+    run_depth_sweep,
+    run_records_sweep,
+)
+
+
+def test_fig23a_records_sweep(benchmark):
+    cells = run_once(
+        benchmark, run_records_sweep,
+        scales=(0.1, 0.2), cache_sizes=(4 * 1024, 8 * 1024),
+    )
+    print()
+    print(format_fig23a(cells))
+    # A larger cache never makes walks slower at a given database size.
+    for scale in (0.1, 0.2):
+        small = cells[(scale, 4 * 1024)]["metal"]
+        large = cells[(scale, 8 * 1024)]["metal"]
+        assert large <= small * 1.15
+
+
+def test_fig23b_depth_sweep(benchmark):
+    cells = run_once(
+        benchmark, run_depth_sweep, depths=(6, 9, 12, 15), scale=0.15
+    )
+    print()
+    print(format_fig23b(cells))
+    heights = sorted(cells)
+    assert len(heights) >= 2
+    # Deeper indexes mean longer walks for both systems...
+    assert cells[heights[-1]]["metal"] > cells[heights[0]]["metal"]
+    # ...and METAL stays at or below METAL-IX's latency throughout.
+    for height, cell in cells.items():
+        assert cell["metal"] <= cell["metal_ix"] * 1.1, height

@@ -1,0 +1,17 @@
+"""Robustness of headline ratios across workload generator seeds."""
+
+from conftest import run_once
+
+from repro.bench.seeds import format_seed_sweep, run_seed_sweep
+
+
+def test_seed_robustness(benchmark, bench_scale):
+    sweep = run_once(
+        benchmark, run_seed_sweep, "scan", seeds=(0, 1, 2), scale=bench_scale
+    )
+    print()
+    print(format_seed_sweep(sweep))
+    # The METAL-vs-stream advantage must hold for every seed, with bounded
+    # spread (these are deterministic simulations of synthetic inputs).
+    assert all(v > 1.5 for v in sweep.ratios["stream"])
+    assert sweep.stdev("stream") < sweep.mean("stream") * 0.3

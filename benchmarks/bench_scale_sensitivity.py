@@ -1,0 +1,23 @@
+"""Scale sensitivity — the headline orderings must hold as workloads grow."""
+
+from conftest import run_once
+
+from repro.bench.scale_sensitivity import (
+    format_scale_sensitivity,
+    orderings_stable,
+    run_scale_sensitivity,
+)
+
+
+def test_scale_sensitivity(benchmark):
+    points = run_once(
+        benchmark, run_scale_sensitivity, "scan", scales=(0.1, 0.25, 0.5)
+    )
+    print()
+    print(format_scale_sensitivity(points, "scan"))
+    assert orderings_stable(points)
+    # METAL's advantage over X-cache does not collapse with scale.
+    ratios = [p.metal_vs_xcache for p in points]
+    assert min(ratios) > 1.3
+    # Bigger scale -> bigger index, more walks (sanity of the sweep).
+    assert points[-1].index_blocks > points[0].index_blocks

@@ -1,0 +1,13 @@
+"""Table 2 — workload setup, regenerated from the live suite."""
+
+from conftest import run_once
+
+from repro.bench.tables import format_table2
+
+
+def test_table2_workloads(benchmark, workloads):
+    table = run_once(benchmark, format_table2, list(workloads.values()))
+    print()
+    print(table)
+    assert len(workloads) == 10
+    assert {w.dsa for w in workloads.values()} == {"gorgon", "capstan", "aurochs"}

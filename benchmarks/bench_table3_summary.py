@@ -1,0 +1,17 @@
+"""Table 3 — evaluation summary (headline ratios across the suite)."""
+
+from conftest import run_once
+
+from repro.bench.summary import format_table3, run_summary
+
+
+def test_table3_summary(benchmark, bench_scale):
+    summary = run_once(benchmark, run_summary, scale=bench_scale)
+    print()
+    print(format_table3(summary))
+    # The orderings the paper's Table 3 rests on.
+    assert summary.ratios["stream"] > summary.ratios["xcache"] > 1.0
+    assert summary.ratios["address"] > 0.9
+    assert summary.energy_ratios["stream"] > 1.0
+    lo, hi = summary.pattern_gain
+    assert hi >= lo > 0.8

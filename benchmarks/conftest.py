@@ -1,0 +1,33 @@
+"""Shared fixtures for the figure/table benchmarks.
+
+Workloads are built once per session and shared; set ``REPRO_BENCH_SCALE``
+to change the workload scale (default 0.15 keeps the whole suite fast;
+1.0 reproduces the repo's full default sizes).
+"""
+
+import os
+
+import pytest
+
+from repro.workloads.suite import WORKLOAD_BUILDERS, build_workload
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.15"))
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def workloads(bench_scale):
+    """Every Table-2 workload, built once."""
+    return {
+        name: build_workload(name, scale=bench_scale)
+        for name in WORKLOAD_BUILDERS
+    }
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time a single execution (experiments are deterministic)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,22 @@
+"""Benchmark harness regenerating every table and figure of Section 5.
+
+Each module maps to one experiment (see DESIGN.md's experiment index);
+:mod:`repro.bench.runner` is the shared workload-x-memory-system driver and
+:mod:`repro.bench.report` regenerates everything into a text report.
+"""
+
+from repro.bench.runner import (
+    CACHE_SYSTEMS,
+    SYSTEMS,
+    build_memsys,
+    compare_systems,
+    run_workload,
+)
+
+__all__ = [
+    "build_memsys",
+    "CACHE_SYSTEMS",
+    "compare_systems",
+    "run_workload",
+    "SYSTEMS",
+]

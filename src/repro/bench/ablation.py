@@ -1,0 +1,225 @@
+"""Ablations over METAL's design choices (DESIGN.md's supplemental axes).
+
+* **Geometry** — associativity sweep (paper supplemental: "Best geometry:
+  16-way. 16 banked").
+* **Shared vs. private** — one IX-cache shared by all tiles vs. the same
+  capacity partitioned per tile (paper: "Shared is best since access every
+  70-180 cycles").
+* **Mechanism toggles** — Case-3 coalescing, key-focused insertion,
+  touch-filter admission, and the next-line prefetcher on the address
+  baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.format import render_table
+from repro.bench.runner import build_memsys, run_workload
+from repro.params import CacheParams, IXCACHE_ENERGY_FJ
+from repro.sim.memsys import MetalMemSys
+from repro.sim.metrics import RunResult, simulate
+from repro.workloads.suite import Workload, build_workload
+
+
+# --------------------------------------------------------------------- #
+# Geometry (ways) sweep
+# --------------------------------------------------------------------- #
+
+def run_geometry_sweep(
+    workload: Workload | None = None,
+    ways_options: tuple[int, ...] = (1, 4, 8, 16, 32),
+    scale: float = 0.25,
+) -> dict[int, RunResult]:
+    workload = workload or build_workload("scan", scale=scale)
+    results = {}
+    for ways in ways_options:
+        params = CacheParams(
+            capacity_bytes=workload.default_cache_bytes,
+            ways=ways,
+            e_access=IXCACHE_ENERGY_FJ,
+        )
+        memsys = build_memsys("metal", workload, cache_params=params)
+        results[ways] = simulate(
+            memsys, workload.requests, memsys.sim, workload.total_index_blocks
+        )
+    return results
+
+
+def format_geometry(results: dict[int, RunResult]) -> str:
+    headers = ["ways", "makespan", "avg walk latency", "miss rate"]
+    rows = [
+        [ways, r.makespan, r.avg_walk_latency, r.miss_rate]
+        for ways, r in sorted(results.items())
+    ]
+    return render_table(headers, rows, "Ablation — IX-cache associativity")
+
+
+# --------------------------------------------------------------------- #
+# Shared vs. private IX-cache
+# --------------------------------------------------------------------- #
+
+@dataclass
+class SharedVsPrivate:
+    shared: RunResult
+    private_makespan: int
+    num_partitions: int
+    private_hit_rate: float
+
+
+def run_shared_vs_private(
+    workload: Workload | None = None,
+    partitions: int = 4,
+    scale: float = 0.25,
+) -> SharedVsPrivate:
+    """Same total capacity: one shared cache vs. per-tile-group slices.
+
+    Private slices lose cooperative caching: a node cached by one tile
+    group cannot short-circuit another group's walks.
+    """
+    workload = workload or build_workload("scan", scale=scale)
+    shared = run_workload(workload, "metal")
+
+    # Each private slice serves one tile group: 1/partitions of the tiles,
+    # 1/partitions of the capacity, 1/partitions of the walks. Wall time is
+    # the slowest group (they run concurrently).
+    group_tiles = max(1, workload.config.tiles // partitions)
+    sim = workload.config.scaled(group_tiles).sim_params()
+    slice_bytes = max(1024, workload.default_cache_bytes // partitions)
+    privates: list[MetalMemSys] = []
+    for _ in range(partitions):
+        memsys = build_memsys(
+            "metal", workload, sim=sim,
+            cache_params=CacheParams(
+                capacity_bytes=slice_bytes, e_access=IXCACHE_ENERGY_FJ
+            ),
+        )
+        privates.append(memsys)
+    buckets = [workload.requests[i::partitions] for i in range(partitions)]
+    makespan = 0
+    hits = accesses = 0
+    for memsys, bucket in zip(privates, buckets):
+        run = simulate(memsys, bucket, sim, workload.total_index_blocks)
+        makespan = max(makespan, run.makespan)
+        if run.cache_stats:
+            hits += run.cache_stats.hits
+            accesses += run.cache_stats.accesses
+    return SharedVsPrivate(
+        shared=shared,
+        private_makespan=makespan,
+        num_partitions=partitions,
+        private_hit_rate=hits / accesses if accesses else 0.0,
+    )
+
+
+def format_shared_vs_private(result: SharedVsPrivate) -> str:
+    shared_hit = result.shared.cache_stats.hit_rate if result.shared.cache_stats else 0.0
+    headers = ["organization", "makespan", "hit rate"]
+    rows = [
+        ["shared", result.shared.makespan, shared_hit],
+        [f"private x{result.num_partitions}", result.private_makespan,
+         result.private_hit_rate],
+    ]
+    return render_table(
+        headers, rows, "Ablation — shared vs. private IX-cache (equal capacity)"
+    )
+
+
+# --------------------------------------------------------------------- #
+# Mechanism toggles
+# --------------------------------------------------------------------- #
+
+@dataclass
+class ToggleResult:
+    label: str
+    run: RunResult
+
+
+def run_mechanism_toggles(
+    workload: Workload | None = None, scale: float = 0.25
+) -> list[ToggleResult]:
+    workload = workload or build_workload("scan", scale=scale)
+    sim = workload.config.sim_params()
+    results = [ToggleResult("metal (default)", run_workload(workload, "metal"))]
+
+    # Case-3 coalescing off.
+    memsys = build_memsys("metal", workload, coalesce=False)
+    results.append(ToggleResult(
+        "no coalescing",
+        simulate(memsys, workload.requests, sim, workload.total_index_blocks),
+    ))
+
+    # Fully-associative IX-cache (no key-block sets).
+    memsys = build_memsys("metal", workload, associative=False)
+    results.append(ToggleResult(
+        "fully associative",
+        simulate(memsys, workload.requests, sim, workload.total_index_blocks),
+    ))
+
+    # Address baseline variants: flat, next-line prefetch, two-level.
+    results.append(ToggleResult("address", run_workload(workload, "address")))
+    results.append(ToggleResult("address + prefetch",
+                                run_workload(workload, "address_pf")))
+    results.append(ToggleResult("address L1+L2",
+                                run_workload(workload, "address_l2")))
+    return results
+
+
+def format_toggles(results: list[ToggleResult]) -> str:
+    headers = ["configuration", "makespan", "avg walk latency", "index DRAM"]
+    rows = [
+        [r.label, r.run.makespan, r.run.avg_walk_latency, r.run.index_dram_accesses]
+        for r in results
+    ]
+    return render_table(headers, rows, "Ablation — mechanism toggles")
+
+
+# --------------------------------------------------------------------- #
+# Walk-scheduling policies
+# --------------------------------------------------------------------- #
+
+def run_scheduling(
+    workload: Workload | None = None, scale: float = 0.25
+) -> dict[str, RunResult]:
+    """Request-reorder policies (repro.sim.scheduler) under METAL-IX."""
+    from repro.sim.scheduler import POLICIES, schedule
+
+    workload = workload or build_workload("scan", scale=scale)
+    sim = workload.config.sim_params()
+    results = {}
+    for policy in POLICIES:
+        memsys = build_memsys("metal_ix", workload)
+        ordered = schedule(workload.requests, policy)
+        results[policy] = simulate(
+            memsys, ordered, sim, workload.total_index_blocks
+        )
+    return results
+
+
+def format_scheduling(results: dict[str, RunResult]) -> str:
+    headers = ["policy", "makespan", "index DRAM", "row-hit rate"]
+    rows = []
+    for policy, run in results.items():
+        total_rows = run.dram.row_hits + run.dram.row_misses
+        rows.append([
+            policy, run.makespan, run.index_dram_accesses,
+            run.dram.row_hits / max(1, total_rows),
+        ])
+    return render_table(
+        headers, rows, "Ablation — walk-issue scheduling policies (METAL-IX)"
+    )
+
+
+def main() -> None:  # pragma: no cover
+    workload = build_workload("scan", scale=0.25)
+    print(format_geometry(run_geometry_sweep(workload)))
+    print()
+    print(format_shared_vs_private(run_shared_vs_private(workload)))
+    print()
+    print(format_toggles(run_mechanism_toggles(workload)))
+    print()
+    print(format_scheduling(run_scheduling(workload)))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,70 @@
+"""Fig. 20 — breakdown of METAL's speedup into its three factors.
+
+IX: the IX-cache alone with the hardwired utility policy (METAL-IX).
+Patterns: reuse managed by descriptors with static parameters (tune off).
+Params: dynamic parameter tuning enabled (full METAL).
+All normalized to the streaming DSA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.format import render_table
+from repro.bench.runner import run_workload
+from repro.workloads.suite import PAPER_LABELS, Workload, build_workload
+
+DEFAULT_WORKLOADS = (
+    "scan", "sets", "spmm", "select", "where", "join", "rtree", "pagerank",
+)
+
+
+@dataclass
+class BreakdownResult:
+    workload: str
+    ix: float
+    patterns: float
+    params: float
+
+
+def run_breakdown(
+    workloads: tuple[str, ...] = DEFAULT_WORKLOADS,
+    scale: float = 0.25,
+    prebuilt: dict[str, Workload] | None = None,
+) -> list[BreakdownResult]:
+    results = []
+    for name in workloads:
+        workload = (prebuilt or {}).get(name) or build_workload(name, scale=scale)
+        base = run_workload(workload, "stream").makespan
+        ix = run_workload(workload, "metal_ix").makespan
+        patterns = run_workload(workload, "metal", tune=False).makespan
+        params = run_workload(workload, "metal", tune=True).makespan
+        results.append(
+            BreakdownResult(
+                name,
+                ix=base / max(1, ix),
+                patterns=base / max(1, patterns),
+                params=base / max(1, params),
+            )
+        )
+    return results
+
+
+def format_fig20(results: list[BreakdownResult]) -> str:
+    headers = ["workload", "IX only", "+Patterns", "+Params"]
+    rows = [
+        [PAPER_LABELS.get(r.workload, r.workload), r.ix, r.patterns, r.params]
+        for r in results
+    ]
+    return render_table(
+        headers, rows,
+        "Fig. 20 — Speedup vs streaming, by contributing factor",
+    )
+
+
+def main() -> None:  # pragma: no cover
+    print(format_fig20(run_breakdown()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,71 @@
+"""Fig. 21 — what lives in the IX-cache, by index level.
+
+Compares METAL-IX's greedy occupancy against pattern-managed METAL for the
+workloads the paper plots (Scan, SpMM, Sets, SpMM-S). Sorted-set skip
+lists can be arbitrarily deep, so — like the paper — levels are reported
+as-is (level 1 = head of the structure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench.format import render_table
+from repro.bench.runner import build_memsys
+from repro.sim.metrics import simulate
+from repro.workloads.suite import PAPER_LABELS, Workload, build_workload
+
+DEFAULT_WORKLOADS = ("scan", "spmm", "sets", "spmm_s")
+
+
+@dataclass
+class OccupancyResult:
+    workload: str
+    height: int
+    by_level: dict[str, dict[int, int]] = field(default_factory=dict)
+
+
+def run_occupancy(
+    workloads: tuple[str, ...] = DEFAULT_WORKLOADS,
+    scale: float = 0.25,
+    prebuilt: dict[str, Workload] | None = None,
+) -> list[OccupancyResult]:
+    results = []
+    for name in workloads:
+        workload = (prebuilt or {}).get(name) or build_workload(name, scale=scale)
+        entry = OccupancyResult(name, max(i.height for i in workload.indexes))
+        for kind in ("metal_ix", "metal"):
+            memsys = build_memsys(kind, workload)
+            simulate(memsys, workload.requests, memsys.sim, workload.total_index_blocks)
+            entry.by_level[kind] = dict(
+                sorted(memsys.policy.cache.occupancy_by_level().items())
+            )
+        results.append(entry)
+    return results
+
+
+def format_fig21(results: list[OccupancyResult]) -> str:
+    max_level = max(
+        (lvl for r in results for occ in r.by_level.values() for lvl in occ),
+        default=0,
+    )
+    headers = ["workload", "system", *[f"L{l}" for l in range(max_level + 1)]]
+    rows = []
+    for result in results:
+        for kind, occupancy in result.by_level.items():
+            label = "MTL" if kind == "metal" else "IX"
+            rows.append(
+                [PAPER_LABELS.get(result.workload, result.workload), label]
+                + [occupancy.get(l, 0) for l in range(max_level + 1)]
+            )
+    return render_table(
+        headers, rows, "Fig. 21 — IX-cache entries per index level"
+    )
+
+
+def main() -> None:  # pragma: no cover
+    print(format_fig21(run_occupancy()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

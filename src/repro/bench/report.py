@@ -1,0 +1,118 @@
+"""Regenerate every table and figure into one text report.
+
+Usage::
+
+    python -m repro.bench.report [--scale 0.25] [--out report.txt]
+
+Workloads are built once per scale and shared across experiments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench import adaptivity, breakdown, energy, occupancy, scaling
+from repro.bench import speedup as speedup_mod
+from repro.bench import summary as summary_mod
+from repro.bench import sweep, tables, tagmatch, trends
+from repro.workloads.suite import WORKLOAD_BUILDERS, build_workload
+
+
+def generate_report(
+    scale: float = 0.25, fast: bool = False,
+    collect_json: dict | None = None,
+) -> str:
+    """Run the full harness; returns the text report.
+
+    When ``collect_json`` is a dict, machine-readable figure data is
+    stored into it (per-workload speedups, Table-3 ratios, per-run stats).
+    """
+    sections: list[str] = []
+    started = time.time()
+    prebuilt = {
+        name: build_workload(name, scale=scale) for name in WORKLOAD_BUILDERS
+    }
+
+    def add(title: str, body: str) -> None:
+        sections.append(f"{'=' * 72}\n{title}\n{'=' * 72}\n{body}\n")
+
+    add("Fig. 7", tagmatch.format_fig7(tagmatch.run_tagmatch()))
+    add("Table 2", tables.format_table2(list(prebuilt.values())))
+
+    trend_results = trends.run_trends(scale=scale, prebuilt=prebuilt)
+    add("Fig. 15", trends.format_fig15(trend_results))
+    add("Fig. 16", trends.format_fig16(trend_results))
+    add("Fig. 17", trends.format_fig17(trend_results))
+
+    speedup_results = speedup_mod.run_speedups(scale=scale, prebuilt=prebuilt)
+    add("Fig. 18", speedup_mod.format_fig18(speedup_results))
+    if collect_json is not None:
+        collect_json["scale"] = scale
+        collect_json["fig18"] = {
+            r.workload: {k: run.to_dict() for k, run in r.runs.items()}
+            for r in speedup_results
+        }
+        collect_json["headline"] = speedup_mod.headline_ratios(speedup_results)
+
+    energy_results = energy.run_energy(scale=scale, prebuilt=prebuilt)
+    add("Fig. 19", energy.format_fig19(energy_results))
+    add("Fig. 25", energy.format_fig25(energy_results))
+
+    add("Fig. 20", breakdown.format_fig20(
+        breakdown.run_breakdown(scale=scale, prebuilt=prebuilt)))
+    add("Fig. 21", occupancy.format_fig21(
+        occupancy.run_occupancy(scale=scale, prebuilt=prebuilt)))
+    add("Fig. 22", adaptivity.format_fig22(
+        adaptivity.run_adaptivity(scale=scale, prebuilt=prebuilt.get("scan"))))
+
+    if not fast:
+        scaling_result = scaling.run_scaling()
+        add("Fig. 23a", scaling.format_fig23a(scaling_result.records_sweep))
+        add("Fig. 23b", scaling.format_fig23b(scaling_result.depth_sweep))
+        add("Fig. 24", sweep.format_fig24(sweep.run_sweep(scale=scale, prebuilt=prebuilt)))
+
+    table3 = summary_mod.run_summary(scale=scale)
+    add("Table 3", summary_mod.format_table3(table3))
+    if collect_json is not None:
+        collect_json["table3"] = {
+            "speedup": table3.ratios,
+            "energy": table3.energy_ratios,
+            "ix_only": table3.ix_only_ratios,
+            "pattern_gain": list(table3.pattern_gain),
+        }
+
+    elapsed = time.time() - started
+    sections.append(f"Report generated in {elapsed:.1f}s at scale {scale}.\n")
+    return "\n".join(sections)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.25,
+                        help="workload scale factor (1.0 = repo default sizes)")
+    parser.add_argument("--out", type=str, default=None,
+                        help="write the report to this file as well as stdout")
+    parser.add_argument("--json", type=str, default=None,
+                        help="write machine-readable figure data to this file")
+    parser.add_argument("--fast", action="store_true",
+                        help="skip the slow Fig. 23/24 sweeps")
+    args = parser.parse_args(argv)
+    payload: dict | None = {} if args.json else None
+    report = generate_report(scale=args.scale, fast=args.fast,
+                             collect_json=payload)
+    print(report)
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(report)
+    if args.json and payload is not None:
+        import json
+
+        with open(args.json, "w") as f:
+            json.dump(payload, f, indent=2)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

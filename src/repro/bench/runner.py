@@ -1,0 +1,95 @@
+"""Shared driver: run one workload through each memory organization.
+
+Centralizes the per-system setup the experiments share: cache geometry,
+IX-cache key-block sizing from the workload's key universe, fresh
+descriptors per run, and the FA-OPT two-pass construction.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.ix_cache import block_bits_for
+from repro.params import CacheParams, IXCACHE_ENERGY_FJ, SimParams
+from repro.sim.memsys import MemorySystem, make_memsys
+from repro.sim.metrics import RunResult, simulate
+from repro.workloads.suite import Workload
+
+#: Every organization the evaluation compares, in Fig. 18 order.
+SYSTEMS: tuple[str, ...] = ("stream", "address", "fa_opt", "xcache", "metal_ix", "metal")
+#: The cache-bearing subset (Fig. 15-17 trends).
+CACHE_SYSTEMS: tuple[str, ...] = ("fa_opt", "xcache", "metal_ix", "metal")
+
+
+def cache_params_for(kind: str, cache_bytes: int, ways: int = 16, banks: int = 16) -> CacheParams:
+    energy = IXCACHE_ENERGY_FJ if kind.startswith("metal") else 7_000.0
+    return CacheParams(
+        capacity_bytes=cache_bytes, ways=ways, banks=banks, e_access=energy
+    )
+
+
+def build_memsys(
+    kind: str,
+    workload: Workload,
+    cache_bytes: int | None = None,
+    sim: SimParams | None = None,
+    tune: bool = True,
+    batch_walks: int | None = None,
+    **overrides: Any,
+) -> MemorySystem:
+    """Instantiate one memory system configured for a workload."""
+    cache_bytes = cache_bytes or workload.default_cache_bytes
+    sim = sim or workload.config.sim_params()
+    params = overrides.pop("cache_params", None) or cache_params_for(kind, cache_bytes)
+    kwargs: dict[str, Any] = {}
+    if kind.startswith("metal"):
+        default_bits = workload.ix_key_block_bits
+        if default_bits is None:
+            default_bits = block_bits_for(workload.key_universe, params)
+        kwargs["key_block_bits"] = overrides.pop("key_block_bits", default_bits)
+    if kind == "metal":
+        kwargs["descriptors"] = overrides.pop(
+            "descriptors", workload.descriptor_factory()
+        )
+        kwargs["tune"] = tune
+        kwargs["batch_walks"] = batch_walks or max(
+            200, len(workload.requests) // 8
+        )
+    if kind == "fa_opt":
+        kwargs["requests"] = workload.faopt_pairs()
+    kwargs.update(overrides)
+    return make_memsys(kind, sim, params, **kwargs)
+
+
+def run_workload(
+    workload: Workload,
+    kind: str,
+    cache_bytes: int | None = None,
+    sim: SimParams | None = None,
+    timed: bool = True,
+    **overrides: Any,
+) -> RunResult:
+    """Simulate one (workload, memory system) pair."""
+    sim = sim or workload.config.sim_params()
+    memsys = build_memsys(kind, workload, cache_bytes, sim, **overrides)
+    return simulate(
+        memsys,
+        workload.requests,
+        sim,
+        workload.total_index_blocks,
+        timed=timed,
+    )
+
+
+def compare_systems(
+    workload: Workload,
+    kinds: tuple[str, ...] = SYSTEMS,
+    cache_bytes: int | None = None,
+    sim: SimParams | None = None,
+    timed: bool = True,
+) -> dict[str, RunResult]:
+    """Run every requested organization over one workload."""
+    return {
+        kind: run_workload(workload, kind, cache_bytes, sim, timed=timed)
+        for kind in kinds
+    }

@@ -1,0 +1,105 @@
+"""Fig. 23 — METAL vs index size (record count and depth sweeps).
+
+(a) JOIN with a growing record count across IX-cache sizes: patterns let
+METAL absorb larger databases without a larger cache.
+(b) JOIN with index depth swept upward: METAL-IX degrades faster than
+METAL because it captures the reuse region less efficiently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench.format import render_table
+from repro.bench.runner import run_workload
+from repro.workloads.suite import build_analytics_join
+
+
+@dataclass
+class ScalingResult:
+    """Average walk latency per (config, system) cell."""
+
+    records_sweep: dict[tuple[float, int], dict[str, float]] = field(default_factory=dict)
+    depth_sweep: dict[int, dict[str, float]] = field(default_factory=dict)
+
+
+def run_records_sweep(
+    scales: tuple[float, ...] = (0.125, 0.25, 0.5),
+    cache_sizes: tuple[int, ...] = (4 * 1024, 8 * 1024, 16 * 1024),
+) -> dict[tuple[float, int], dict[str, float]]:
+    """Fig. 23a: record count x cache size -> walk latency per system."""
+    cells: dict[tuple[float, int], dict[str, float]] = {}
+    for scale in scales:
+        workload = build_analytics_join(scale=scale)
+        for cache_bytes in cache_sizes:
+            cell = {}
+            for kind in ("metal_ix", "metal"):
+                run = run_workload(workload, kind, cache_bytes=cache_bytes)
+                cell[kind] = run.avg_walk_latency
+            cells[(scale, cache_bytes)] = cell
+    return cells
+
+
+def run_depth_sweep(
+    depths: tuple[int, ...] = (6, 9, 12, 15),
+    scale: float = 0.25,
+    cache_bytes: int = 8 * 1024,
+) -> dict[int, dict[str, float]]:
+    """Fig. 23b: index depth -> walk latency per system.
+
+    Cells are keyed by the *built* inner-tree height (the depth target
+    quantizes through the integer fan-out at reduced scale).
+    """
+    cells: dict[int, dict[str, float]] = {}
+    for depth in depths:
+        workload = build_analytics_join(scale=scale, depth=depth)
+        height = workload.indexes[0].height
+        if height in cells:
+            continue
+        cell = {}
+        for kind in ("metal_ix", "metal"):
+            run = run_workload(workload, kind, cache_bytes=cache_bytes)
+            cell[kind] = run.avg_walk_latency
+        cells[height] = cell
+    return cells
+
+
+def run_scaling(**kw) -> ScalingResult:
+    return ScalingResult(
+        records_sweep=run_records_sweep(),
+        depth_sweep=run_depth_sweep(),
+    )
+
+
+def format_fig23a(cells: dict[tuple[float, int], dict[str, float]]) -> str:
+    headers = ["scale", "cache", "METAL-IX lat", "METAL lat"]
+    rows = [
+        [scale, f"{cache // 1024}KB", cell["metal_ix"], cell["metal"]]
+        for (scale, cache), cell in sorted(cells.items())
+    ]
+    return render_table(
+        headers, rows, "Fig. 23a — Walk latency vs record count x cache size (JOIN)"
+    )
+
+
+def format_fig23b(cells: dict[int, dict[str, float]]) -> str:
+    headers = ["height", "METAL-IX lat", "METAL lat", "IX/MTL"]
+    rows = [
+        [depth, cell["metal_ix"], cell["metal"],
+         cell["metal_ix"] / max(1e-9, cell["metal"])]
+        for depth, cell in sorted(cells.items())
+    ]
+    return render_table(
+        headers, rows, "Fig. 23b — Walk latency vs index depth (JOIN)"
+    )
+
+
+def main() -> None:  # pragma: no cover
+    result = run_scaling()
+    print(format_fig23a(result.records_sweep))
+    print()
+    print(format_fig23b(result.depth_sweep))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,38 @@
+"""Table 2 — workload setup, regenerated from the live suite."""
+
+from __future__ import annotations
+
+from repro.bench.format import render_table
+from repro.workloads.suite import PAPER_LABELS, WORKLOAD_BUILDERS, Workload, build_workload
+
+
+def run_table2(scale: float = 0.1) -> list[Workload]:
+    return [build_workload(name, scale=scale) for name in WORKLOAD_BUILDERS]
+
+
+def format_table2(workloads: list[Workload]) -> str:
+    headers = [
+        "workload", "DSA", "pattern", "walks", "ops/walk", "ops/compute",
+        "index blocks", "notes",
+    ]
+    rows = []
+    for wl in workloads:
+        rows.append([
+            PAPER_LABELS.get(wl.name, wl.name),
+            wl.dsa,
+            wl.pattern,
+            len(wl.requests),
+            wl.config.ops_per_walk,
+            wl.config.ops_per_compute,
+            wl.total_index_blocks,
+            wl.notes,
+        ])
+    return render_table(headers, rows, "Table 2 — Workload setup")
+
+
+def main() -> None:  # pragma: no cover
+    print(format_table2(run_table2()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

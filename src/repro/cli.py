@@ -1,0 +1,122 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands:
+
+* ``report``    — regenerate every table/figure (see repro.bench.report).
+* ``compare``   — run one workload across memory systems.
+* ``workloads`` — list the Table-2 workload registry.
+* ``ablation``  — run the design-choice ablations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.format import render_table
+from repro.bench.runner import SYSTEMS, compare_systems
+from repro.workloads.suite import PAPER_LABELS, WORKLOAD_BUILDERS, build_workload
+
+
+def cmd_workloads(_args: argparse.Namespace) -> int:
+    rows = []
+    for name in WORKLOAD_BUILDERS:
+        workload = build_workload(name, scale=0.02)
+        rows.append([name, PAPER_LABELS.get(name, name), workload.dsa,
+                     workload.pattern])
+    print(render_table(["key", "paper label", "DSA", "pattern"], rows,
+                       "Table-2 workload registry"))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    kinds = tuple(args.systems.split(",")) if args.systems else SYSTEMS
+    unknown = set(kinds) - set(SYSTEMS) - {"address_pf"}
+    if unknown:
+        print(f"unknown systems: {sorted(unknown)}", file=sys.stderr)
+        return 2
+    workload = build_workload(args.workload, scale=args.scale, seed=args.seed)
+    print(f"{workload.name}: {workload.notes}")
+    results = compare_systems(workload, kinds=kinds,
+                              cache_bytes=args.cache_kb * 1024 if args.cache_kb else None)
+    base = results.get("stream") or next(iter(results.values()))
+    rows = []
+    for name, run in results.items():
+        rows.append([
+            name,
+            base.makespan / max(1, run.makespan),
+            run.avg_walk_latency,
+            run.miss_rate,
+            run.working_set_fraction,
+            run.dram_energy_fj / 1e6,
+        ])
+    print(render_table(
+        ["system", "speedup", "walk lat", "miss", "working set", "DRAM nJ"],
+        rows,
+    ))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.bench.report import generate_report
+
+    report = generate_report(scale=args.scale, fast=args.fast)
+    print(report)
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(report)
+    return 0
+
+
+def cmd_ablation(args: argparse.Namespace) -> int:
+    from repro.bench import ablation
+
+    workload = build_workload(args.workload, scale=args.scale)
+    print(ablation.format_geometry(ablation.run_geometry_sweep(workload)))
+    print()
+    print(ablation.format_shared_vs_private(
+        ablation.run_shared_vs_private(workload)))
+    print()
+    print(ablation.format_toggles(ablation.run_mechanism_toggles(workload)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="METAL (ASPLOS'24) reproduction harness"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("workloads", help="list the Table-2 workloads")
+    p.set_defaults(func=cmd_workloads)
+
+    p = sub.add_parser("compare", help="run one workload across systems")
+    p.add_argument("workload", choices=sorted(WORKLOAD_BUILDERS))
+    p.add_argument("--scale", type=float, default=0.25)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--systems", type=str, default=None,
+                   help="comma-separated subset, e.g. stream,metal")
+    p.add_argument("--cache-kb", type=int, default=None)
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("report", help="regenerate every table and figure")
+    p.add_argument("--scale", type=float, default=0.25)
+    p.add_argument("--out", type=str, default=None)
+    p.add_argument("--fast", action="store_true")
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("ablation", help="design-choice ablations")
+    p.add_argument("--workload", default="scan", choices=sorted(WORKLOAD_BUILDERS))
+    p.add_argument("--scale", type=float, default=0.25)
+    p.set_defaults(func=cmd_ablation)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

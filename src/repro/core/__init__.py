@@ -1,0 +1,42 @@
+"""METAL's core contribution: the IX-cache and reuse patterns.
+
+* :class:`IXCache` — range-tagged, set-associative-on-key-blocks cache that
+  short-circuits index walks (Section 3.1).
+* Reuse descriptors (:class:`NodeDescriptor`, :class:`LevelDescriptor`,
+  :class:`BranchDescriptor`) and the :class:`PatternController` that applies
+  them on the walk pipeline (Section 4).
+* :class:`Metal` / :class:`MetalIX` — the two evaluated configurations
+  (with patterns / hardwired utility policy only).
+"""
+
+from repro.core.controller import InsertDecision, PatternController
+from repro.core.descriptors import (
+    BranchDescriptor,
+    CompositeDescriptor,
+    LevelDescriptor,
+    NodeDescriptor,
+    ReuseDescriptor,
+)
+from repro.core.energy_model import CacheEnergyModel, TAG_MATCH_TABLE
+from repro.core.ix_cache import IXCache, IXEntry
+from repro.core.metal import Metal, MetalIX
+from repro.core.packing import pack_node
+from repro.core.range_tag import RangeTag
+
+__all__ = [
+    "BranchDescriptor",
+    "CacheEnergyModel",
+    "CompositeDescriptor",
+    "InsertDecision",
+    "IXCache",
+    "IXEntry",
+    "LevelDescriptor",
+    "Metal",
+    "MetalIX",
+    "NodeDescriptor",
+    "PatternController",
+    "RangeTag",
+    "ReuseDescriptor",
+    "TAG_MATCH_TABLE",
+    "pack_node",
+]

@@ -1,0 +1,141 @@
+"""Pattern controller — directs IX-cache insert/bypass during walks (§3.2).
+
+"As the walker traverses the index, the pattern controller directs the
+insertion policy for the IX-cache ... For any node during a walk, the
+descriptor determines whether a specific node should be inserted into the
+IX-cache or bypassed entirely."
+
+The controller is a state machine holding the active descriptor per index,
+batching walks (the paper updates parameters "after a batch of 1 million
+walks"; the batch size scales with our reduced workloads), computing
+:class:`BatchFeedback` from cache statistics, and recording descriptor
+parameters per batch so Fig. 22's adaptivity plot can be regenerated.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any
+
+from repro.core.descriptors import (
+    BatchFeedback,
+    INSERT_ALL,
+    InsertDecision,
+    ReuseDescriptor,
+    WalkContext,
+)
+from repro.core.ix_cache import IXCache
+from repro.indexes.base import IndexNode
+
+
+class PatternController:
+    """Applies reuse descriptors to the walk pipeline.
+
+    ``descriptors`` maps ``index_id`` to a descriptor; a single descriptor
+    applies to every index. Indexes with no descriptor fall back to greedy
+    insert-all (METAL-IX behaviour).
+    """
+
+    def __init__(
+        self,
+        descriptors: ReuseDescriptor | dict[int, ReuseDescriptor],
+        cache: IXCache,
+        batch_walks: int = 1_000,
+        tune: bool = True,
+    ) -> None:
+        if batch_walks <= 0:
+            raise ValueError("batch_walks must be positive")
+        self._default: ReuseDescriptor | None
+        if isinstance(descriptors, ReuseDescriptor):
+            self._default = descriptors
+            self._by_index: dict[int, ReuseDescriptor] = {}
+        else:
+            self._default = None
+            self._by_index = dict(descriptors)
+        self.cache = cache
+        self.batch_walks = batch_walks
+        self.tune = tune
+        self._walks_in_batch = 0
+        self._insertions_by_level: Counter[int] = Counter()
+        self._batch_start_stats = (0, 0)  # (accesses, hits)
+        self._batch_start_hit_levels: Counter[int] = Counter()
+        #: One entry per completed batch: descriptor params + batch stats.
+        self.history: list[dict[str, Any]] = []
+
+    def descriptor_for(self, index_id: int) -> ReuseDescriptor | None:
+        return self._by_index.get(index_id, self._default)
+
+    # ------------------------------------------------------------------ #
+    # Walk pipeline hooks
+    # ------------------------------------------------------------------ #
+
+    def begin_walk(self, index_id: int, key: int) -> None:
+        descriptor = self.descriptor_for(index_id)
+        if descriptor is not None:
+            descriptor.observe_key(key)
+
+    def decide(
+        self,
+        index_id: int,
+        node: IndexNode,
+        height: int,
+        ctx: WalkContext | None = None,
+    ) -> InsertDecision:
+        descriptor = self.descriptor_for(index_id)
+        if descriptor is None:
+            return INSERT_ALL
+        decision = descriptor.decide(node, height, ctx)
+        if decision.insert:
+            self._insertions_by_level[node.level] += 1
+        return decision
+
+    def end_walk(self) -> None:
+        self._walks_in_batch += 1
+        if self._walks_in_batch >= self.batch_walks:
+            self._finish_batch()
+
+    # ------------------------------------------------------------------ #
+    # Batch tuning
+    # ------------------------------------------------------------------ #
+
+    def _finish_batch(self) -> None:
+        stats = self.cache.stats
+        accesses0, hits0 = self._batch_start_stats
+        batch_accesses = stats.accesses - accesses0
+        batch_hits = stats.hits - hits0
+        hits_by_level = {
+            level: count - self._batch_start_hit_levels.get(level, 0)
+            for level, count in self.cache.hit_levels.items()
+        }
+        feedback = BatchFeedback(
+            hits_by_level=hits_by_level,
+            insertions_by_level=dict(self._insertions_by_level),
+            hit_rate=(batch_hits / batch_accesses) if batch_accesses else 0.0,
+            occupancy=len(self.cache) / max(1, self.cache.params.entries),
+        )
+        described: list[dict[str, Any]] = []
+        for descriptor in self._all_descriptors():
+            if self.tune:
+                descriptor.tune(feedback)
+            described.append(descriptor.describe())
+        self.history.append(
+            {
+                "walks": self._walks_in_batch,
+                "hit_rate": feedback.hit_rate,
+                "occupancy": feedback.occupancy,
+                "descriptors": described,
+            }
+        )
+        self._walks_in_batch = 0
+        self._insertions_by_level.clear()
+        self._batch_start_stats = (stats.accesses, stats.hits)
+        self._batch_start_hit_levels = Counter(self.cache.hit_levels)
+
+    def _all_descriptors(self) -> list[ReuseDescriptor]:
+        seen: list[ReuseDescriptor] = []
+        if self._default is not None:
+            seen.append(self._default)
+        for descriptor in self._by_index.values():
+            if all(descriptor is not s for s in seen):
+                seen.append(descriptor)
+        return seen

@@ -1,0 +1,366 @@
+"""IX-cache — a cache that uses key ranges as tags (Section 3.1).
+
+Organization (Fig. 6 / Fig. 8):
+
+* Every entry is one 64B block tagged with a :class:`RangeTag` ([Lo, Hi] +
+  level). A probe by key matches entries with ``Lo <= key <= Hi``; ties
+  between covering entries are broken by the level field, preferring the
+  node *closest to the leaf* (maximal short-circuit).
+* Set-associativity divides the key space into 2^b-wide key blocks; an
+  index node maps to the set(s) of the key blocks it spans. Nodes spanning
+  a few blocks are split into per-set sub-range entries (Case-2 packing in
+  key space); nodes wider than the replication limit (near-root nodes) go
+  to a small fully-associative wide-entry array.
+* Replacement uses 4-bit saturating utility counters ("we track utility by
+  using 4-bit saturating counters (one per entry)", Section 5) plus an
+  optional lifetime pin set by the Node descriptor: pinned entries are not
+  evictable until their remaining accesses are used up.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import Counter
+from typing import Any
+
+from repro.core.packing import blocks_needed, can_coalesce, coalesced_tag, pack_node
+from repro.core.range_tag import RangeTag
+from repro.indexes.base import IndexNode
+from repro.mem.stats import CacheStats
+from repro.params import BLOCK_SIZE, NS_STRIDE, CacheParams, IXCACHE_ENERGY_FJ
+
+_UTILITY_MAX = 15  # 4-bit saturating counter
+_entry_seq = itertools.count()
+
+
+def block_bits_for(key_universe: int, params: CacheParams | None = None,
+                   wide_fraction: float = 0.125) -> int:
+    """Key-block bits that spread a key universe across the cache's sets.
+
+    Fig. 8 fixes b = 4 for illustration; a deployment sizes the key block
+    so one block of keys maps to roughly one set (too-small blocks make
+    mid-level nodes span many sets and replicate; too-large blocks cause
+    the set conflicts the paper warns about).
+    """
+    params = params or CacheParams()
+    entries = max(1, params.entries)
+    sa_entries = max(1, entries - max(1, int(entries * wide_fraction)))
+    sets = max(1, sa_entries // params.ways)
+    per_set = max(1, key_universe // sets)
+    return max(4, per_set.bit_length() - 1)
+
+
+#: Utility a fresh entry starts with: high enough to survive a few
+#: evictions until its first re-hit (SRRIP-style insertion position).
+_UTILITY_INSERT = 3
+
+
+class IXEntry:
+    """One cache block: a match tag and the node(s) packed behind it."""
+
+    __slots__ = ("tag", "parts", "utility", "life", "nbytes", "seq")
+
+    def __init__(self, tag: RangeTag, parts: list[tuple[RangeTag, IndexNode]], life: int = 0):
+        self.tag = tag
+        self.parts = parts
+        self.utility = _UTILITY_INSERT
+        self.life = life
+        self.nbytes = sum(min(n.byte_size(), BLOCK_SIZE) for _, n in parts)
+        self.seq = next(_entry_seq)
+
+    def select(self, key: int) -> IndexNode | None:
+        """Pick the constituent node whose exact range covers the key."""
+        for part_tag, node in self.parts:
+            if part_tag.matches(key):
+                return node
+        return None
+
+    @property
+    def pinned(self) -> bool:
+        return self.life > 0
+
+
+class IXCache:
+    """Range-tagged cache with key-block set-associativity.
+
+    ``key_block_bits`` is ``b`` of Fig. 8 (keys 0..2^b-1 form block 0).
+    ``replication_limit`` caps how many sets a node is replicated across
+    before falling back to the wide-entry array; ``wide_fraction`` is the
+    share of capacity reserved for that array.
+    """
+
+    def __init__(
+        self,
+        params: CacheParams | None = None,
+        key_block_bits: int = 4,
+        replication_limit: int = 4,
+        wide_fraction: float = 0.125,
+        associative: bool = True,
+        coalesce: bool = True,
+        partition: dict[int, int] | None = None,
+    ) -> None:
+        self.params = params or CacheParams(e_access=IXCACHE_ENERGY_FJ)
+        self.stats = CacheStats()
+        self.key_block_bits = key_block_bits
+        self.replication_limit = replication_limit
+        self.associative = associative
+        #: Case-3 packing (Fig. 5): merge adjacent small same-level nodes
+        #: into one super-range entry. Toggleable for the ablation bench.
+        self.coalesce = coalesce
+        #: Optional way partitioning per index: maps index_id -> maximum
+        #: ways an index may occupy in any set. Mitigates the cross-index
+        #: contention the paper notes for JOIN ("METAL experiences high
+        #: contention as it targets multiple B+Trees").
+        self.partition = dict(partition) if partition else None
+        if self.partition is not None:
+            for index_id, quota in self.partition.items():
+                if quota <= 0:
+                    raise ValueError(
+                        f"way quota for index {index_id} must be positive"
+                    )
+        total_entries = max(1, self.params.entries)
+        if associative:
+            self.wide_capacity = max(1, int(total_entries * wide_fraction))
+            sa_entries = max(1, total_entries - self.wide_capacity)
+            self.num_sets = max(1, sa_entries // self.params.ways)
+            self.ways = self.params.ways
+        else:
+            # Fully-associative mode: one set holding everything.
+            self.wide_capacity = 0
+            self.num_sets = 1
+            self.ways = total_entries
+        self._sets: list[list[IXEntry]] = [[] for _ in range(self.num_sets)]
+        self._wide: list[IXEntry] = []
+        #: Histogram of the levels at which probes hit (Fig. 21 inputs).
+        self.hit_levels: Counter[int] = Counter()
+
+    # ------------------------------------------------------------------ #
+    # Geometry helpers
+    # ------------------------------------------------------------------ #
+
+    def set_of(self, key: int) -> int:
+        return (key >> self.key_block_bits) % self.num_sets
+
+    def _key_block(self, key: int) -> int:
+        return key >> self.key_block_bits
+
+    # ------------------------------------------------------------------ #
+    # Hit path
+    # ------------------------------------------------------------------ #
+
+    def probe(self, key: int) -> IndexNode | None:
+        """Match stage + tie-break + child select (Fig. 6).
+
+        Returns the deepest cached node covering ``key`` (walk restarts
+        from it), or None on a miss.
+        """
+        candidates: list[IXEntry] = []
+        for entry in self._sets[self.set_of(key)]:
+            if entry.tag.matches(key):
+                candidates.append(entry)
+        for entry in self._wide:
+            if entry.tag.matches(key):
+                candidates.append(entry)
+        best_node: IndexNode | None = None
+        best_entry: IXEntry | None = None
+        for entry in sorted(candidates, key=lambda e: -e.tag.level):
+            node = entry.select(key)
+            if node is not None:
+                best_entry, best_node = entry, node
+                break
+        hit = best_node is not None
+        self.stats.record(hit)
+        if hit and best_entry is not None:
+            best_entry.utility = min(_UTILITY_MAX, best_entry.utility + 1)
+            if best_entry.life > 0:
+                best_entry.life -= 1
+            self.hit_levels[best_entry.tag.level] += 1
+        return best_node
+
+    def peek(self, key: int) -> IndexNode | None:
+        """Probe without touching statistics or utility (for tests)."""
+        best: tuple[int, IndexNode] | None = None
+        for entry in self._sets[self.set_of(key)] + self._wide:
+            if entry.tag.matches(key):
+                node = entry.select(key)
+                if node is not None and (best is None or entry.tag.level > best[0]):
+                    best = (entry.tag.level, node)
+        return best[1] if best else None
+
+    # ------------------------------------------------------------------ #
+    # Insert / bypass
+    # ------------------------------------------------------------------ #
+
+    def insert(
+        self, node: IndexNode, ns: Any = None, life: int = 0, key: int | None = None
+    ) -> bool:
+        """Insert an index node; returns False if wholly rejected.
+
+        ``ns`` maps raw keys to namespaced keys (identity when None).
+        The node is packed per Fig. 5, then each entry is placed in the
+        set(s) its range spans (or the wide array). When ``key`` (already
+        namespaced) is given and the node splits into several sub-range
+        entries, only the entry the walk actually searched — the one
+        covering ``key`` — is cached; the walker never read the others.
+        """
+        if ns is None:
+            ns = lambda k: k  # noqa: E731 - trivial identity
+        packed = pack_node(node, ns, self.params.block_bytes)
+        if key is not None and len(packed) > 1:
+            covering = [(tag, n) for tag, n in packed if tag.matches(key)]
+            if covering:
+                packed = covering
+        if not packed:
+            return False
+        placed_any = False
+        for tag, part_node in packed:
+            if self._place(tag, part_node, life):
+                placed_any = True
+        if not placed_any:
+            self.stats.bypasses += 1
+        return placed_any
+
+    def note_bypass(self) -> None:
+        """Record a pattern-directed bypass (node deliberately not cached)."""
+        self.stats.bypasses += 1
+
+    def _place(self, tag: RangeTag, node: IndexNode, life: int) -> bool:
+        if not self.associative:
+            return self._place_in_set(0, tag, node, life)
+        first = self._key_block(tag.lo)
+        last = self._key_block(tag.hi)
+        span = last - first + 1
+        if span > self.replication_limit:
+            return self._place_wide(tag, node, life)
+        placed = False
+        for block in range(first, last + 1):
+            block_lo = block << self.key_block_bits
+            block_hi = block_lo + (1 << self.key_block_bits) - 1
+            clipped = tag.clip(block_lo, block_hi)
+            if self._place_in_set(block % self.num_sets, clipped, node, life):
+                placed = True
+        return placed
+
+    def _place_in_set(self, set_idx: int, tag: RangeTag, node: IndexNode, life: int) -> bool:
+        ways = self._sets[set_idx]
+        for entry in ways:
+            if entry.tag == tag and any(n is node for _, n in entry.parts):
+                entry.utility = min(_UTILITY_MAX, entry.utility + 1)
+                entry.life = max(entry.life, life)
+                return True
+        # Case-3 coalescing: merge with an adjacent same-level small entry.
+        node_bytes = min(node.byte_size(), self.params.block_bytes)
+        for entry in ways if self.coalesce else ():
+            if entry.pinned or life > 0:
+                continue
+            if can_coalesce(entry.tag, tag, entry.nbytes, node_bytes, self.params.block_bytes):
+                entry.parts.append((tag, node))
+                entry.tag = coalesced_tag(entry.tag, tag)
+                entry.nbytes += node_bytes
+                self.stats.insertions += 1
+                return True
+        owner = tag.lo // NS_STRIDE
+        if self.partition is not None and owner in self.partition:
+            owned = [e for e in ways if e.tag.lo // NS_STRIDE == owner]
+            if len(owned) >= self.partition[owner]:
+                # Quota full: the index may only displace its own entries.
+                victims = [e for e in owned if not e.pinned] or owned
+                victim = min(victims, key=lambda e: (e.utility, e.seq))
+                ways.remove(victim)
+                self.stats.evictions += 1
+        if len(ways) >= self.ways and not self._evict_from(ways):
+            self.stats.bypasses += 1
+            return False
+        ways.append(IXEntry(tag, [(tag, node)], life))
+        self.stats.insertions += 1
+        return True
+
+    def _place_wide(self, tag: RangeTag, node: IndexNode, life: int) -> bool:
+        for entry in self._wide:
+            if entry.tag == tag and any(n is node for _, n in entry.parts):
+                entry.utility = min(_UTILITY_MAX, entry.utility + 1)
+                return True
+        if len(self._wide) >= self.wide_capacity and not self._evict_from(self._wide):
+            self.stats.bypasses += 1
+            return False
+        self._wide.append(IXEntry(tag, [(tag, node)], life))
+        self.stats.insertions += 1
+        return True
+
+    def _evict_from(self, entries: list[IXEntry]) -> bool:
+        """Evict the lowest-utility unpinned entry.
+
+        Survivors are renormalized by the victim's utility (RRIP-style):
+        entries that keep getting hit stay near the top of the counter
+        range while streaming one-touch insertions churn at the bottom.
+        """
+        victims = [e for e in entries if not e.pinned]
+        if not victims:
+            # Lifetime pins are advisory: rather than deadlocking a fully
+            # pinned set, reclaim the pinned entry with the least remaining
+            # life (its expected accesses are most nearly consumed).
+            victim = min(entries, key=lambda e: (e.life, e.utility, e.seq))
+            entries.remove(victim)
+            self.stats.evictions += 1
+            return True
+        victim = min(victims, key=lambda e: (e.utility, e.seq))
+        entries.remove(victim)
+        self.stats.evictions += 1
+        for entry in entries:
+            if entry.life > 0:
+                # Lifetime is a lease, not a grant in perpetuity: pins
+                # decay under eviction pressure so entries whose expected
+                # accesses never arrive become reclaimable.
+                entry.life -= 1
+        if victim.utility > 0:
+            # Age survivors one notch per forced eviction so stale
+            # saturated entries eventually become evictable.
+            for entry in entries:
+                entry.utility = max(0, entry.utility - 1)
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Introspection (Fig. 21 occupancy, tests)
+    # ------------------------------------------------------------------ #
+
+    def invalidate_range(self, lo: int, hi: int) -> int:
+        """Drop every entry overlapping [lo, hi] (namespaced keys).
+
+        Called when an index mutates structurally (node splits/merges):
+        cached nodes whose ranges intersect the dirty interval may be
+        stale. Returns the number of entries removed.
+        """
+        if lo > hi:
+            raise ValueError(f"invalid range [{lo}, {hi}]")
+        dirty = RangeTag(lo, hi, 0)
+        removed = 0
+        for ways in self._sets:
+            keep = [e for e in ways if not e.tag.overlaps(dirty)]
+            removed += len(ways) - len(keep)
+            ways[:] = keep
+        keep = [e for e in self._wide if not e.tag.overlaps(dirty)]
+        removed += len(self._wide) - len(keep)
+        self._wide[:] = keep
+        self.stats.evictions += removed
+        return removed
+
+    def entries(self) -> list[IXEntry]:
+        return [e for ways in self._sets for e in ways] + list(self._wide)
+
+    def occupancy_by_level(self) -> dict[int, int]:
+        """Number of cached entries per index level."""
+        counts: Counter[int] = Counter()
+        for entry in self.entries():
+            counts[entry.tag.level] += 1
+        return dict(counts)
+
+    def __len__(self) -> int:
+        return len(self.entries())
+
+    def clear(self) -> None:
+        self._sets = [[] for _ in range(self.num_sets)]
+        self._wide = []
+
+    @staticmethod
+    def entries_for(node: IndexNode) -> int:
+        return blocks_needed(node)

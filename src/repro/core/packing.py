@@ -1,0 +1,104 @@
+"""Packing index nodes into 64B cache blocks (Fig. 5).
+
+Three cases:
+
+* Case 1 — node size == block size: one entry tagged with the exact range.
+* Case 2 — node size > block size: the node is split into sub-range
+  entries, each holding a slice of the child pointers.
+* Case 3 — node size < block size: adjacent same-level nodes can be
+  coalesced into one entry tagged with the super-range (done
+  opportunistically by the IX-cache at insert time; :func:`can_coalesce`
+  is the legality check).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.core.range_tag import RangeTag
+from repro.indexes.base import IndexNode
+from repro.params import BLOCK_SIZE, KEY_BYTES, NS_STRIDE, PTR_BYTES
+
+
+def blocks_needed(node: IndexNode, block_bytes: int = BLOCK_SIZE) -> int:
+    """Number of cache blocks the node's keys + pointers occupy."""
+    return max(1, -(-node.byte_size() // block_bytes))
+
+
+def pack_node(
+    node: IndexNode,
+    ns: Callable[[int], int],
+    block_bytes: int = BLOCK_SIZE,
+) -> list[tuple[RangeTag, IndexNode]]:
+    """Split a node into (tag, node) entries, one per cache block.
+
+    ``ns`` maps raw keys into the namespaced key space of the shared cache.
+    Case 1 yields a single exact-range entry. Case 2 splits the children
+    into contiguous groups, one entry per block, each tagged with the
+    sub-range it can resolve ("Each entry holds one of the child pointers",
+    generalized to however many fit a block).
+    """
+    if node.lo is None or node.hi is None:
+        return []
+    if node.lo == float("-inf") or node.hi == float("inf"):
+        # Sentinel nodes (skip-list heads) have no representable range and
+        # would falsely cover other buckets' keys once clamped.
+        return []
+    lo, hi = ns(node.lo), ns(node.hi)
+    if not node.keys:
+        # Keyless nodes (radix page-table nodes index by address bits, not
+        # stored keys) cannot be subdivided: one exact-range entry.
+        return [(RangeTag(lo, hi, node.level), node)]
+    n_blocks = blocks_needed(node, block_bytes)
+    if n_blocks == 1:
+        return [(RangeTag(lo, hi, node.level), node)]
+
+    if node.children:
+        per_block = max(1, -(-len(node.children) // n_blocks))
+        entries: list[tuple[RangeTag, IndexNode]] = []
+        for start in range(0, len(node.children), per_block):
+            group = node.children[start : start + per_block]
+            entries.append(
+                (RangeTag(ns(group[0].lo), ns(group[-1].hi), node.level), node)
+            )
+        return entries
+
+    # Oversized leaf: split its key list into per-block sub-ranges.
+    keys = node.keys
+    per_block = max(1, (block_bytes // (KEY_BYTES + PTR_BYTES)))
+    entries = []
+    for start in range(0, len(keys), per_block):
+        chunk = keys[start : start + per_block]
+        entries.append((RangeTag(ns(chunk[0]), ns(chunk[-1]), node.level), node))
+    return entries
+
+
+def can_coalesce(
+    a: RangeTag,
+    b: RangeTag,
+    a_bytes: int,
+    b_bytes: int,
+    block_bytes: int = BLOCK_SIZE,
+) -> bool:
+    """Case-3 legality: same level and namespace, combined fit, neighbors.
+
+    Only *adjacent-ish* nodes coalesce (Fig. 5 fuses [7-8] with [9-12]):
+    the gap between the ranges must not exceed their combined width, so a
+    super-range never claims large key regions neither node covers — and
+    never spans two different indexes' namespaces.
+    """
+    if a.level != b.level:
+        return False
+    if a_bytes + b_bytes > block_bytes:
+        return False
+    if a.lo // NS_STRIDE != b.lo // NS_STRIDE:
+        return False
+    if a.overlaps(b):
+        return False
+    gap = max(a.lo, b.lo) - min(a.hi, b.hi) - 1
+    return gap <= a.width() + b.width()
+
+
+def coalesced_tag(a: RangeTag, b: RangeTag) -> RangeTag:
+    """The super-range tag covering both coalesced nodes."""
+    return RangeTag(min(a.lo, b.lo), max(a.hi, b.hi), a.level)

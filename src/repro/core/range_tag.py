@@ -1,0 +1,41 @@
+"""Range tags — the inversion at the heart of the IX-cache.
+
+An address cache tags a block with its address; the IX-cache tags it with
+the ``[Lo, Hi]`` key range the cached index node covers, plus a level field
+used to break ties when several cached nodes cover the same key (Fig. 6:
+"a 'level field' helps break the tie").
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+
+class RangeTag(NamedTuple):
+    """[lo, hi] inclusive key range with the node's index level.
+
+    Keys are namespaced integers (the memory system folds the index id into
+    the key) so tags from different indexes sharing one IX-cache never
+    falsely match.
+    """
+
+    lo: int
+    hi: int
+    level: int
+
+    def matches(self, key: int) -> bool:
+        """The matching stage: Lo <= key <= Hi."""
+        return self.lo <= key <= self.hi
+
+    def width(self) -> int:
+        return self.hi - self.lo + 1
+
+    def overlaps(self, other: "RangeTag") -> bool:
+        return self.lo <= other.hi and other.lo <= self.hi
+
+    def clip(self, lo: int, hi: int) -> "RangeTag":
+        """Sub-range tag clipped to [lo, hi] (Case-2 packing)."""
+        new_lo, new_hi = max(self.lo, lo), min(self.hi, hi)
+        if new_lo > new_hi:
+            raise ValueError(f"clip [{lo}, {hi}] does not intersect {self}")
+        return RangeTag(new_lo, new_hi, self.level)

@@ -1,0 +1,31 @@
+"""Domain-specific architecture models (Section 2.1, Fig. 2, Fig. 4).
+
+The four DSAs METAL is incorporated into — Gorgon (relational), Capstan
+(sparse tensor), Aurochs (dataflow threads), Widx (database walkers) — are
+modeled as tile grids issuing index walks with the arithmetic intensities
+of Table 2. The microcoded walker FSM of Fig. 9 is implemented in
+:mod:`repro.dsa.walker`.
+"""
+
+from repro.dsa.aurochs import Aurochs
+from repro.dsa.capstan import Capstan
+from repro.dsa.config import DSAConfig
+from repro.dsa.gorgon import Gorgon
+from repro.dsa.grid import TileGrid
+from repro.dsa.tile import ComputeTile
+from repro.dsa.walker import MicrocodeTable, Walker, WalkerState, WalkProgram
+from repro.dsa.widx import Widx
+
+__all__ = [
+    "Aurochs",
+    "Capstan",
+    "ComputeTile",
+    "DSAConfig",
+    "Gorgon",
+    "MicrocodeTable",
+    "TileGrid",
+    "Walker",
+    "WalkerState",
+    "WalkProgram",
+    "Widx",
+]

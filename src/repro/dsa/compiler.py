@@ -1,0 +1,215 @@
+"""Declarative front-end: dataflow programs lowered to walk requests.
+
+The paper's toolflow (Fig. 14) lowers high-level programs through LLVM
+onto the tile grid; this module is that layer's Pythonic equivalent. A
+:class:`DataflowProgram` is a small DAG of declarative operators (lookup,
+select, join, spmm, ...); :func:`lower` produces the walk-request stream,
+a recommended reuse descriptor per index (the pattern the operator mix
+implies), and a placement of operators onto compute tiles.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.descriptors import (
+    BranchDescriptor,
+    CompositeDescriptor,
+    LevelDescriptor,
+    NodeDescriptor,
+    ReuseDescriptor,
+)
+from repro.dsa.config import DSAConfig
+from repro.dsa.grid import TileGrid
+from repro.sim.metrics import WalkRequest
+
+_op_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class Operator:
+    """One declarative node of the dataflow DAG."""
+
+    op_id: int
+    kind: str            # 'lookup' | 'select' | 'where' | 'join' | 'spmm' | 'scan_graph'
+    index: Any
+    params: dict[str, Any] = field(default_factory=dict)
+    inputs: tuple[int, ...] = ()
+
+    #: Which reuse pattern each operator kind implies (Table 2's mapping).
+    PATTERN_BY_KIND = {
+        "lookup": "level",
+        "select": "level",
+        "where": "level",
+        "join": "level",
+        "spmm": "node",
+        "scan_graph": "node+branch",
+        "spatial": "level+branch",
+    }
+
+
+class DataflowProgram:
+    """Builder for a DAG of declarative operators over indexes."""
+
+    def __init__(self, config: DSAConfig) -> None:
+        self.config = config
+        self.operators: list[Operator] = []
+
+    def _add(self, kind: str, index: Any, inputs: tuple[int, ...] = (), **params: Any) -> Operator:
+        if kind not in Operator.PATTERN_BY_KIND:
+            raise ValueError(f"unknown operator kind {kind!r}")
+        op = Operator(next(_op_ids), kind, index, dict(params), inputs)
+        self.operators.append(op)
+        return op
+
+    # ------------------------------------------------------------------ #
+    # Declarative surface
+    # ------------------------------------------------------------------ #
+
+    def lookup(self, index: Any, keys: list[int]) -> Operator:
+        """Point lookups (Gorgon's random search)."""
+        return self._add("lookup", index, keys=list(keys))
+
+    def select(self, index: Any, ranges: list[tuple[int, int]]) -> Operator:
+        """SELECT ... BETWEEN range scans."""
+        return self._add("select", index, ranges=list(ranges))
+
+    def where(self, index: Any, keys: list[int]) -> Operator:
+        """Data-dependent probes (nested WHERE clauses)."""
+        return self._add("where", index, keys=list(keys))
+
+    def join(self, outer: Any, inner: Any, fk_column: str) -> Operator:
+        """Index nested-loop join of two record tables."""
+        return self._add("join", inner, outer=outer, fk_column=fk_column)
+
+    def spmm(self, b: Any, a_rows: list[list[tuple[int, float]]]) -> Operator:
+        """Sparse inner product probing B's coordinate index."""
+        return self._add("spmm", b, a_rows=a_rows)
+
+    def scan_graph(self, graph: Any, frontier: list[int]) -> Operator:
+        """Unordered graph scans (PageRank-push style)."""
+        return self._add("scan_graph", graph, frontier=list(frontier))
+
+
+@dataclass
+class LoweredProgram:
+    """Output of :func:`lower`: everything the simulator needs."""
+
+    requests: list[WalkRequest]
+    descriptors: dict[int, ReuseDescriptor]
+    placement: dict[int, int]  # operator id -> tile id
+    indexes: list[Any]
+
+    @property
+    def pattern_summary(self) -> dict[int, str]:
+        return {
+            index_id: type(descriptor).__name__
+            for index_id, descriptor in self.descriptors.items()
+        }
+
+
+def _descriptor_for(kind: str, index: Any) -> ReuseDescriptor:
+    """Table 2's operator-kind -> reuse-pattern mapping."""
+    height = index.height
+    level = LevelDescriptor(
+        0, height - 1, min_level=0, max_level=height - 1, low_utility=0.5
+    )
+    if kind in ("lookup", "select", "where", "join"):
+        return level
+    if kind == "spmm":
+        return CompositeDescriptor([
+            NodeDescriptor(target="leaf", life=2),
+            LevelDescriptor(0, height - 1, min_level=0, max_level=height - 1,
+                            low_utility=0.5, min_touches=1, frontier=False),
+        ])
+    if kind in ("scan_graph", "spatial"):
+        return CompositeDescriptor([
+            NodeDescriptor(target="leaf", life=1),
+            BranchDescriptor(depth=max(2, height - 1), window=512),
+            LevelDescriptor(0, height - 1, min_level=0, max_level=height - 1,
+                            low_utility=0.5, min_touches=1, frontier=False),
+        ])
+    raise ValueError(f"no pattern mapping for {kind!r}")
+
+
+def _requests_for(op: Operator, config: DSAConfig) -> list[WalkRequest]:
+    compute = config.compute_cycles_per_walk
+    if op.kind in ("lookup", "where"):
+        return [
+            WalkRequest(op.index, key, compute_cycles=compute)
+            for key in op.params["keys"]
+        ]
+    if op.kind == "select":
+        return [
+            WalkRequest(op.index, lo, compute_cycles=compute, scan_hi=hi)
+            for lo, hi in op.params["ranges"]
+        ]
+    if op.kind == "join":
+        outer = op.params["outer"]
+        column = op.params["fk_column"]
+        requests = []
+        for record in outer.scan():
+            requests.append(WalkRequest(outer, record[outer.key_column],
+                                        compute_cycles=compute))
+            requests.append(WalkRequest(op.index, record[column],
+                                        compute_cycles=compute))
+        return requests
+    if op.kind == "spmm":
+        return [
+            WalkRequest(op.index, col, compute_cycles=compute)
+            for row in op.params["a_rows"]
+            for col, _ in row
+        ]
+    if op.kind == "scan_graph":
+        return [
+            WalkRequest(op.index, v, compute_cycles=compute)
+            for v in op.params["frontier"]
+        ]
+    raise ValueError(f"cannot lower operator kind {op.kind!r}")
+
+
+def lower(program: DataflowProgram) -> LoweredProgram:
+    """Lower a dataflow program: requests + descriptors + placement.
+
+    Placement is round-robin over the grid (the HLS place-and-route
+    stand-in); descriptors merge per index when several operators share
+    one (union semantics, like the composite patterns of Table 2).
+    """
+    if not program.operators:
+        raise ValueError("empty dataflow program")
+    grid = TileGrid(program.config)
+    requests: list[WalkRequest] = []
+    descriptors: dict[int, ReuseDescriptor] = {}
+    placement: dict[int, int] = {}
+    indexes: dict[int, Any] = {}
+
+    for i, op in enumerate(program.operators):
+        placement[op.op_id] = i % len(grid)
+        requests.extend(_requests_for(op, program.config))
+        involved = [op.index]
+        if op.kind == "join":
+            involved.append(op.params["outer"])
+        for index in involved:
+            index_id = index.index_id
+            indexes[index_id] = index
+            descriptor = _descriptor_for(op.kind, index)
+            if index_id in descriptors:
+                existing = descriptors[index_id]
+                members = (
+                    list(existing.members)
+                    if isinstance(existing, CompositeDescriptor)
+                    else [existing]
+                )
+                members.append(descriptor)
+                descriptors[index_id] = CompositeDescriptor(members)
+            else:
+                descriptors[index_id] = descriptor
+
+    return LoweredProgram(
+        requests=requests,
+        descriptors=descriptors,
+        placement=placement,
+        indexes=list(indexes.values()),
+    )

@@ -1,0 +1,50 @@
+"""DSA configuration: parallelism style, tile grid geometry, intensities."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.params import SimParams, TileParams
+
+
+@dataclass(frozen=True)
+class DSAConfig:
+    """Static description of one DSA (Table 1 / Table 2 attributes).
+
+    ``ops_per_walk`` is the walker's per-walk operation count and
+    ``ops_per_compute`` the application compute per walk; both come from
+    Table 2 and convert to cycles via the tile's issue width.
+    """
+
+    name: str
+    parallelism: str  # 'task' | 'vector' | 'loop'
+    tiles: int = 16
+    walker_contexts: int = 4
+    ops_per_cycle: int = 4
+    ops_per_walk: int = 64
+    ops_per_compute: int = 32
+
+    def walk_overhead_cycles(self, nodes_visited: int, height: int) -> int:
+        """Walker ops attributable to the nodes actually visited."""
+        if height <= 0:
+            return 0
+        per_node = self.ops_per_walk / height
+        return int(per_node * nodes_visited / self.ops_per_cycle)
+
+    @property
+    def compute_cycles_per_walk(self) -> int:
+        return max(1, self.ops_per_compute // self.ops_per_cycle)
+
+    def sim_params(self, base: SimParams | None = None) -> SimParams:
+        """Engine parameters matching this DSA's geometry."""
+        base = base or SimParams()
+        tile = TileParams(
+            ops_per_cycle=self.ops_per_cycle,
+            walker_contexts=self.walker_contexts,
+            scratchpad_bytes=base.tile.scratchpad_bytes,
+        )
+        return replace(base, tiles=self.tiles, tile=tile)
+
+    def scaled(self, tiles: int) -> "DSAConfig":
+        """The same DSA with a different tile count (Fig. 24 sweep)."""
+        return replace(self, tiles=tiles)

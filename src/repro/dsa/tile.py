@@ -1,0 +1,46 @@
+"""Compute tile: a dataflow thread with local scratchpad and walkers.
+
+"Each tile implements a dataflow thread; a vessel that encapsulates the
+user-specified function along with register state sufficient to run the
+thread" (Section 3). For the evaluation a tile contributes its issue width,
+its walker contexts, and its scratchpad; the user function is a Python
+callable standing in for the HLS-placed dataflow graph.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Any
+
+from repro.mem.scratchpad import Scratchpad
+from repro.params import TileParams
+
+
+class ComputeTile:
+    """One tile of the spatial grid."""
+
+    def __init__(self, tile_id: int, params: TileParams | None = None) -> None:
+        self.tile_id = tile_id
+        self.params = params or TileParams()
+        self.scratchpad = Scratchpad(self.params.scratchpad_bytes)
+        self._function: Callable[..., Any] | None = None
+        self.ops_executed = 0
+
+    def configure(self, function: Callable[..., Any]) -> None:
+        """Place a user function on the tile (stands in for HLS mapping)."""
+        self._function = function
+
+    def execute(self, *args: Any, ops: int = 1, **kwargs: Any) -> Any:
+        """Run the placed function, charging ``ops`` operations."""
+        if self._function is None:
+            raise RuntimeError(f"tile {self.tile_id} has no function configured")
+        self.ops_executed += ops
+        return self._function(*args, **kwargs)
+
+    def compute_cycles(self, ops: int) -> int:
+        """Cycles to issue ``ops`` operations on this tile."""
+        return max(1, -(-ops // self.params.ops_per_cycle))
+
+    def stage_leaf(self, obj_id: Any, nbytes: int) -> None:
+        """Stage a leaf data object into the local scratchpad."""
+        self.scratchpad.stage(obj_id, nbytes)

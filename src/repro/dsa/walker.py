@@ -1,0 +1,177 @@
+"""Microcoded walker FSM (Fig. 9: index node, pseudo code, FSM, microcode).
+
+Walkers are "state-machines that traverse the data-structure and chase
+pointers". The walk is serial and data-dependent, but each walker refills
+independently, so the FSM yields at the two long-latency states — WAIT
+(cursor refill from DRAM) and SEARCH (in-node key search) — letting the
+engine multiplex walks on one hardware thread.
+
+The :class:`Walker` here is the *miss-path* engine: given an index and a
+key it emits exactly the access stream a streaming walk performs, driven by
+a microcode table rather than ad-hoc Python control flow. The memory-system
+models consume the same node paths; tests assert the two agree.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any
+
+from repro.indexes.base import IndexNode
+from repro.sim.engine import Access
+from repro.params import SimParams
+
+
+class WalkerState(Enum):
+    """FSM states of the miss handler."""
+
+    FETCH = "fetch"    # issue the cursor node's address to DRAM
+    WAIT = "wait"      # yield: cursor refilling from DRAM
+    SEARCH = "search"  # yield: find the next child pointer in the node
+    NEXT = "next"      # advance the cursor to the chosen child
+    DONE = "done"      # leaf reached
+
+
+@dataclass(frozen=True)
+class MicrocodeOp:
+    """One microcode table row: state, action, and successor state."""
+
+    state: WalkerState
+    action: str
+    next_state: WalkerState
+
+
+class MicrocodeTable:
+    """The compiled walk program (Fig. 9's table).
+
+    The same table drives every index type — only the node-level 'search'
+    action differs, and that is delegated to the index's child selection.
+    """
+
+    ROWS: tuple[MicrocodeOp, ...] = (
+        MicrocodeOp(WalkerState.FETCH, "issue_read(cursor)", WalkerState.WAIT),
+        MicrocodeOp(WalkerState.WAIT, "yield_until(refill)", WalkerState.SEARCH),
+        MicrocodeOp(WalkerState.SEARCH, "child = search(node, key)", WalkerState.NEXT),
+        MicrocodeOp(WalkerState.NEXT, "cursor = child | done", WalkerState.FETCH),
+    )
+
+    def successor(self, state: WalkerState) -> WalkerState:
+        for row in self.ROWS:
+            if row.state is state:
+                return row.next_state
+        raise KeyError(f"no microcode row for state {state}")
+
+
+@dataclass
+class WalkerStep:
+    """One observable step: the FSM state, the node, the timed access."""
+
+    state: WalkerState
+    node: IndexNode | None
+    access: Access | None
+
+
+@dataclass(frozen=True)
+class WalkProgram:
+    """A DSA-specific compilation of the walk (Fig. 9: "the steps are
+    compiled to a table and microcode").
+
+    Distributes the DSA's per-walk operation budget (Table 2's Ops/Walk)
+    over the FSM states of each level: address generation at FETCH, the
+    in-node search at SEARCH, and cursor update at NEXT. Cycle costs follow
+    from the tile's issue width.
+    """
+
+    fetch_cycles: int
+    search_cycles: int
+    next_cycles: int
+
+    @classmethod
+    def compile(cls, ops_per_walk: int, height: int, ops_per_cycle: int = 4) -> "WalkProgram":
+        if height < 1:
+            raise ValueError("height must be >= 1")
+        if ops_per_cycle < 1:
+            raise ValueError("ops_per_cycle must be >= 1")
+        per_level = max(1, ops_per_walk // max(1, height))
+        # Empirically (Fig. 9's pseudo code) the search dominates: two
+        # ops of address generation, the rest split 3:1 search:next.
+        fetch_ops = 2
+        rest = max(2, per_level - fetch_ops)
+        search_ops = max(1, (rest * 3) // 4)
+        next_ops = max(1, rest - search_ops)
+        to_cycles = lambda ops: max(1, -(-ops // ops_per_cycle))  # noqa: E731
+        return cls(to_cycles(fetch_ops), to_cycles(search_ops), to_cycles(next_ops))
+
+    @property
+    def cycles_per_level(self) -> int:
+        return self.fetch_cycles + self.search_cycles + self.next_cycles
+
+
+class Walker:
+    """Executes the microcode table over an index walk.
+
+    ``run`` yields :class:`WalkerStep` events; ``trace`` collects just the
+    timed accesses (what the engine consumes). An optional
+    :class:`WalkProgram` replaces the generic per-state costs with the
+    DSA-compiled ones.
+    """
+
+    def __init__(
+        self,
+        sim: SimParams | None = None,
+        table: MicrocodeTable | None = None,
+        program: WalkProgram | None = None,
+    ):
+        self.sim = sim or SimParams()
+        self.table = table or MicrocodeTable()
+        self.program = program
+
+    def _state_cost(self, state: WalkerState) -> int:
+        if self.program is None:
+            return self.sim.t_search if state is WalkerState.SEARCH else 0
+        return {
+            WalkerState.FETCH: self.program.fetch_cycles,
+            WalkerState.SEARCH: self.program.search_cycles,
+            WalkerState.NEXT: self.program.next_cycles,
+        }.get(state, 0)
+
+    def run(self, index: Any, key: int, start: IndexNode | None = None) -> Iterator[WalkerStep]:
+        if start is None:
+            path = index.walk(key)
+        else:
+            path = index.walk_from(start, key)[1:]  # cached node is on-chip
+        state = WalkerState.FETCH
+        for node in path:
+            assert state is WalkerState.FETCH
+            fetch_cost = self._state_cost(WalkerState.FETCH)
+            yield WalkerStep(
+                state, node,
+                Access("compute", cycles=fetch_cost) if fetch_cost else None,
+            )
+            state = self.table.successor(state)  # WAIT
+            yield WalkerStep(state, node, Access("dram", node.address, node.nbytes))
+            state = self.table.successor(state)  # SEARCH
+            yield WalkerStep(
+                state, node,
+                Access("compute", cycles=self._state_cost(WalkerState.SEARCH)),
+            )
+            state = self.table.successor(state)  # NEXT
+            next_cost = self._state_cost(WalkerState.NEXT)
+            yield WalkerStep(
+                state, node,
+                Access("compute", cycles=next_cost) if next_cost else None,
+            )
+            state = self.table.successor(state)  # FETCH
+        yield WalkerStep(WalkerState.DONE, path[-1] if path else start, None)
+
+    def trace(self, index: Any, key: int, start: IndexNode | None = None) -> list[Access]:
+        return [step.access for step in self.run(index, key, start) if step.access is not None]
+
+    def leaf(self, index: Any, key: int) -> IndexNode | None:
+        last = None
+        for step in self.run(index, key):
+            if step.state is WalkerState.DONE:
+                last = step.node
+        return last

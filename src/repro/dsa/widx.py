@@ -1,0 +1,58 @@
+"""Widx — index-traversal walkers for in-memory databases (MICRO'13).
+
+"Widx supports lookups and joins on relational data that perform nearest
+neighbor scans. Widx predates DSAs and continues to rely on
+address-caches." Widx is therefore the architecture behind the
+``address``-cache baseline: its walkers traverse the index through a
+conventional cache hierarchy.
+"""
+
+from __future__ import annotations
+
+from repro.dsa.config import DSAConfig
+from repro.dsa.grid import TileGrid
+from repro.indexes.table import RecordTable
+from repro.sim.memsys import AddressCacheMemSys
+from repro.sim.metrics import WalkRequest
+from repro.params import CacheParams, SimParams
+
+WIDX_CONFIG = DSAConfig(
+    "widx", parallelism="task", tiles=4, walker_contexts=4,
+    ops_per_walk=128, ops_per_compute=48,
+)
+
+
+class Widx:
+    """Walker-based lookup/join engine over an address cache."""
+
+    def __init__(
+        self,
+        config: DSAConfig | None = None,
+        cache_params: CacheParams | None = None,
+        sim: SimParams | None = None,
+    ) -> None:
+        self.config = config or WIDX_CONFIG
+        self.grid = TileGrid(self.config)
+        self.memsys = AddressCacheMemSys(sim, cache_params)
+
+    def lookup_requests(self, table: RecordTable, keys: list[int]) -> list[WalkRequest]:
+        compute = self.config.compute_cycles_per_walk
+        return [
+            WalkRequest(
+                table,
+                key,
+                compute_cycles=compute,
+                data_address=table.record_address(key),
+                data_bytes=table.record_bytes,
+            )
+            for key in keys
+        ]
+
+    def join_requests(
+        self, outer: RecordTable, inner: RecordTable, column: str
+    ) -> list[WalkRequest]:
+        compute = self.config.compute_cycles_per_walk
+        return [
+            WalkRequest(inner, record[column], compute_cycles=compute)
+            for record in outer.scan()
+        ]

@@ -1,0 +1,137 @@
+"""Shallow compressed fibers (CSR5/CSF-style) — the SpMM-S index.
+
+Fibers are the paper's shallow alternative to dynamic sparse tensors
+(Fig. 18, "-S" variants): a fixed 3-level structure — root directory over
+column blocks, per-block coordinate segments, and leaf nonzero runs. Because
+the index is at most 3 levels, there is little reach for METAL to exploit,
+which is exactly the behaviour the -S experiments demonstrate.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Iterator
+
+from repro.indexes.base import IndexNode, assign_addresses, next_index_id
+from repro.mem.layout import Allocator
+from repro.params import KEY_BYTES
+
+_NNZ_ENTRY_BYTES = 2 * KEY_BYTES
+
+
+class FiberMatrix:
+    """Column-fiber sparse matrix with a fixed-depth (3-level) index.
+
+    Level 0: root directory of column-block separators.
+    Level 1: per-block sorted column coordinate segments.
+    Level 2: leaves holding each column's (row, value) run.
+    """
+
+    HEIGHT = 3
+
+    def __init__(
+        self,
+        shape: tuple[int, int],
+        triples: Iterable[tuple[int, int, float]],
+        allocator: Allocator | None = None,
+    ) -> None:
+        rows, cols = shape
+        if rows <= 0 or cols <= 0:
+            raise ValueError(f"shape must be positive, got {shape}")
+        self.shape = shape
+        self.index_id = next_index_id()
+        self.allocator = allocator or Allocator()
+
+        by_col: dict[int, list[tuple[int, float]]] = {}
+        for r, c, v in triples:
+            if not (0 <= r < rows and 0 <= c < cols):
+                raise IndexError(f"coordinate ({r}, {c}) outside shape {shape}")
+            by_col.setdefault(c, []).append((r, v))
+        self.nnz = sum(len(e) for e in by_col.values())
+        stored = sorted(by_col)
+
+        # Leaves: one per stored column.
+        self._leaves: dict[int, IndexNode] = {}
+        leaf_nodes: list[IndexNode] = []
+        for c in stored:
+            entries = sorted(by_col[c])
+            leaf = IndexNode(2, [c], values=entries, lo=c, hi=c)
+            self._leaves[c] = leaf
+            leaf_nodes.append(leaf)
+
+        # Middle segments: sqrt grouping keeps the directory and segments
+        # balanced regardless of column count.
+        group = max(2, math.ceil(math.sqrt(max(1, len(leaf_nodes)))))
+        segments: list[IndexNode] = []
+        for start in range(0, len(leaf_nodes), group):
+            chunk = leaf_nodes[start : start + group]
+            segments.append(
+                IndexNode(
+                    1,
+                    [leaf.lo for leaf in chunk],
+                    children=list(chunk),
+                    lo=chunk[0].lo,
+                    hi=chunk[-1].hi,
+                )
+            )
+        if not segments:
+            segments = [IndexNode(1, [], children=[], lo=0, hi=0)]
+
+        self._root = IndexNode(
+            0,
+            [seg.lo for seg in segments[1:]],
+            children=segments,
+            lo=segments[0].lo,
+            hi=segments[-1].hi,
+        )
+        self.total_bytes = assign_addresses(self.nodes(), self.allocator)
+
+    @property
+    def root(self) -> IndexNode:
+        return self._root
+
+    @property
+    def height(self) -> int:
+        return self.HEIGHT
+
+    def nodes(self) -> Iterator[IndexNode]:
+        yield self._root
+        for seg in self._root.children or ():
+            yield seg
+            yield from seg.children or ()
+
+    def walk(self, col: int) -> list[IndexNode]:
+        """Directory -> segment -> column leaf (may stop early on absence)."""
+        path = [self._root]
+        if not self._root.children:
+            return path
+        seg = self._root.child_for(col)
+        path.append(seg)
+        for leaf in seg.children or ():
+            if leaf.lo == col:
+                path.append(leaf)
+                break
+        return path
+
+    def walk_from(self, node: IndexNode, col: int) -> list[IndexNode]:
+        if node.is_leaf:
+            return [node]
+        path = [node]
+        for leaf in node.children or ():
+            if leaf.lo == col:
+                path.append(leaf)
+                break
+        return path
+
+    def col_nonzeros(self, col: int) -> list[tuple[int, float]]:
+        leaf = self._leaves.get(col)
+        return list(leaf.values) if leaf is not None else []
+
+    def stored_columns(self) -> list[int]:
+        return sorted(self._leaves)
+
+    def get(self, row: int, col: int) -> float:
+        for r, v in self.col_nonzeros(col):
+            if r == row:
+                return v
+        return 0.0

@@ -1,0 +1,190 @@
+"""Radix page table — the IX-cache's CPU/MMU generalization.
+
+The paper's related work notes that the "IX-cache generalizes the
+classical concept of guarded page tables and translation caches ... CPU/GPU
+extensions are future work". This module implements that extension: an
+x86-64-style 4-level radix page table whose table nodes are
+:class:`IndexNode` objects tagged with the virtual-address range they
+translate — so the same IX-cache that short-circuits B+tree walks acts as
+a page-walk cache (a generalization of skip-level translation caches).
+
+Each level consumes ``bits_per_level`` of the virtual page number; a node
+at level ``l`` covers a VA range of ``page_size * 2^(bits*(levels-l))``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.indexes.base import IndexNode, next_index_id
+from repro.mem.layout import Allocator
+from repro.params import PTR_BYTES
+
+
+class RadixPageTable:
+    """Multi-level radix page table over a virtual address space.
+
+    ``levels=4, bits_per_level=9, page_bits=12`` reproduces x86-64's
+    48-bit layout. Table nodes are allocated in the index region (they are
+    what walkers fetch); translations map VPN -> PFN.
+    """
+
+    def __init__(
+        self,
+        levels: int = 4,
+        bits_per_level: int = 9,
+        page_bits: int = 12,
+        allocator: Allocator | None = None,
+    ) -> None:
+        if levels < 1:
+            raise ValueError("levels must be >= 1")
+        if bits_per_level < 1:
+            raise ValueError("bits_per_level must be >= 1")
+        self.levels = levels
+        self.bits_per_level = bits_per_level
+        self.page_bits = page_bits
+        self.index_id = next_index_id()
+        self.allocator = allocator or Allocator()
+        self.on_structural_change: list = []
+        self._next_pfn = 1
+        self._root = self._make_node(0, 0)
+        self.mapped_pages = 0
+
+    # ------------------------------------------------------------------ #
+    # Geometry
+    # ------------------------------------------------------------------ #
+
+    @property
+    def va_bits(self) -> int:
+        return self.page_bits + self.levels * self.bits_per_level
+
+    @property
+    def height(self) -> int:
+        return self.levels
+
+    @property
+    def root(self) -> IndexNode:
+        return self._root
+
+    def _span_bits(self, level: int) -> int:
+        """VA bits covered by one entry of a node at ``level``."""
+        return self.page_bits + (self.levels - 1 - level) * self.bits_per_level
+
+    def _node_span_bits(self, level: int) -> int:
+        return self._span_bits(level) + self.bits_per_level
+
+    def _slot(self, vaddr: int, level: int) -> int:
+        return (vaddr >> self._span_bits(level)) & ((1 << self.bits_per_level) - 1)
+
+    def _make_node(self, level: int, base_vaddr: int) -> IndexNode:
+        span = 1 << self._node_span_bits(level)
+        node = IndexNode(level, [], values=None, lo=base_vaddr,
+                         hi=base_vaddr + span - 1)
+        node.children = None  # children managed as a slot dict
+        node.values = {}
+        node.nbytes = (1 << self.bits_per_level) * PTR_BYTES
+        node.address = self.allocator.alloc_index(node.nbytes)
+        return node
+
+    # ------------------------------------------------------------------ #
+    # Mapping and translation
+    # ------------------------------------------------------------------ #
+
+    def map_page(self, vaddr: int, pfn: int | None = None) -> int:
+        """Install a translation for the page containing ``vaddr``."""
+        self._check(vaddr)
+        node = self._root
+        for level in range(self.levels - 1):
+            slot = self._slot(vaddr, level)
+            child = node.values.get(slot)
+            if child is None:
+                base = (vaddr >> self._node_span_bits(level + 1)) << (
+                    self._node_span_bits(level + 1)
+                )
+                child = self._make_node(level + 1, base)
+                node.values[slot] = child
+            node = child
+        slot = self._slot(vaddr, self.levels - 1)
+        if slot not in node.values:
+            self.mapped_pages += 1
+        if pfn is None:
+            pfn = self._next_pfn
+            self._next_pfn += 1
+        node.values[slot] = pfn
+        return pfn
+
+    def translate(self, vaddr: int) -> int | None:
+        """VA -> PA, or None if unmapped."""
+        self._check(vaddr)
+        node = self._root
+        for level in range(self.levels - 1):
+            node = node.values.get(self._slot(vaddr, level))
+            if node is None:
+                return None
+        pfn = node.values.get(self._slot(vaddr, self.levels - 1))
+        if pfn is None:
+            return None
+        return (pfn << self.page_bits) | (vaddr & ((1 << self.page_bits) - 1))
+
+    def unmap_page(self, vaddr: int) -> bool:
+        """Remove a translation; fires invalidation hooks (TLB shootdown)."""
+        self._check(vaddr)
+        node = self._root
+        for level in range(self.levels - 1):
+            node = node.values.get(self._slot(vaddr, level))
+            if node is None:
+                return False
+        removed = node.values.pop(self._slot(vaddr, self.levels - 1), None)
+        if removed is None:
+            return False
+        self.mapped_pages -= 1
+        page = vaddr >> self.page_bits << self.page_bits
+        for callback in self.on_structural_change:
+            callback(page, page + (1 << self.page_bits) - 1)
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Walk surface (what the IX-cache machinery consumes)
+    # ------------------------------------------------------------------ #
+
+    def walk(self, vaddr: int) -> list[IndexNode]:
+        """The page-walk: root to the deepest existing table node."""
+        self._check(vaddr)
+        path = [self._root]
+        node = self._root
+        for level in range(self.levels - 1):
+            child = node.values.get(self._slot(vaddr, level))
+            if not isinstance(child, IndexNode):
+                break
+            path.append(child)
+            node = child
+        return path
+
+    def walk_from(self, node: IndexNode, vaddr: int) -> list[IndexNode]:
+        """Continue a page-walk from a cached table node (skip levels)."""
+        if not node.covers(vaddr):
+            raise ValueError(f"node {node!r} does not cover {vaddr:#x}")
+        path = [node]
+        cur = node
+        for level in range(node.level, self.levels - 1):
+            child = cur.values.get(self._slot(vaddr, level))
+            if not isinstance(child, IndexNode):
+                break
+            path.append(child)
+            cur = child
+        return path
+
+    def nodes(self) -> Iterator[IndexNode]:
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            yield node
+            for child in node.values.values():
+                if isinstance(child, IndexNode):
+                    stack.append(child)
+
+    def _check(self, vaddr: int) -> None:
+        if not 0 <= vaddr < (1 << self.va_bits):
+            raise ValueError(
+                f"virtual address {vaddr:#x} outside {self.va_bits}-bit space"
+            )

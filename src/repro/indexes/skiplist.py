@@ -1,0 +1,277 @@
+"""Skip list — the per-bucket structure of Redis-style sorted sets (§4.4).
+
+Each element is a *tower* of forward pointers; the pointer at level ``l``
+skips over all towers shorter than ``l``. For the cache models every
+(tower, level) pair is an :class:`IndexNode` whose range tag covers the
+*segment* it guards: ``[S_i, next_at_level - 1]``. Segments at one level
+partition the key space, so covering nodes along a search path are nested
+exactly like tree levels, and the IX-cache's deepest-level tie-break picks
+the nearest cached predecessor.
+
+Level numbering follows the tree convention (0 = closest to the "root"):
+the top skip level is level ``level_offset`` and the base list is the
+deepest level.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterator
+from typing import Any
+
+from repro.indexes.base import IndexNode, next_index_id
+from repro.mem.layout import Allocator
+
+#: Bytes of one forward-pointer record inside a tower.
+_LEVEL_NODE_BYTES = 16
+
+
+class _Tower:
+    """One skip-list element: a score, its members, and per-level nodes."""
+
+    __slots__ = ("score", "members", "height", "nodes", "forward", "address")
+
+    def __init__(self, score: Any, height: int) -> None:
+        self.score = score
+        self.members: list[Any] = []
+        self.height = height
+        self.nodes: list[IndexNode] = []
+        self.forward: list["_Tower | None"] = [None] * height
+        self.address = 0
+
+
+class SkipList:
+    """Seeded-randomized skip list keyed by integer score.
+
+    ``p`` is the promotion probability; ``max_height`` bounds tower height.
+    ``level_offset`` shifts node levels so a containing structure (the
+    sorted-set hash directory) can occupy shallower levels.
+    """
+
+    HEAD_SCORE = float("-inf")
+
+    def __init__(
+        self,
+        p: float = 0.25,
+        max_height: int = 12,
+        seed: int = 0,
+        allocator: Allocator | None = None,
+        level_offset: int = 0,
+    ) -> None:
+        if not 0.0 < p < 1.0:
+            raise ValueError(f"promotion probability must be in (0, 1), got {p}")
+        if max_height < 1:
+            raise ValueError("max_height must be >= 1")
+        self.p = p
+        self.index_id = next_index_id()
+        self.max_height = max_height
+        self.level_offset = level_offset
+        self.allocator = allocator or Allocator()
+        self._rng = random.Random(seed)
+        self._head = _Tower(self.HEAD_SCORE, max_height)
+        self._head.address = self.allocator.alloc_index(max_height * _LEVEL_NODE_BYTES)
+        self._size = 0
+        self._max_score: Any = None
+        self._dirty = True
+        self._locations: dict[int, tuple[_Tower, int]] = {}
+        #: (tower address, level) -> base-level hops of that forward
+        #: pointer; powers O(log n) rank queries (Redis zslGetRank spans).
+        self._spans: dict[tuple[int, int], int] = {}
+        self._tower_count = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        return self.max_height + self.level_offset
+
+    def _random_height(self) -> int:
+        h = 1
+        while h < self.max_height and self._rng.random() < self.p:
+            h += 1
+        return h
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+
+    def insert(self, score: Any, member: Any) -> None:
+        """Insert a (score, member) record; same-score members coalesce."""
+        update: list[_Tower] = [self._head] * self.max_height
+        cur = self._head
+        for lvl in reversed(range(self.max_height)):
+            while cur.forward[lvl] is not None and cur.forward[lvl].score < score:
+                cur = cur.forward[lvl]
+            update[lvl] = cur
+        candidate = cur.forward[0]
+        if candidate is not None and candidate.score == score:
+            if member not in candidate.members:
+                candidate.members.append(member)
+                candidate.members.sort()
+                self._size += 1
+            self._dirty = True
+            return
+        tower = _Tower(score, self._random_height())
+        tower.members.append(member)
+        tower.address = self.allocator.alloc_index(tower.height * _LEVEL_NODE_BYTES)
+        for lvl in range(tower.height):
+            tower.forward[lvl] = update[lvl].forward[lvl]
+            update[lvl].forward[lvl] = tower
+        self._size += 1
+        if self._max_score is None or score > self._max_score:
+            self._max_score = score
+        self._dirty = True
+
+    def finalize(self) -> None:
+        """(Re)build per-level IndexNodes and their segment range tags.
+
+        Called lazily by queries; cache models must not hold nodes across a
+        later mutation (ranges go stale — rebuild invalidates by identity).
+        """
+        if not self._dirty:
+            return
+        self._locations.clear()
+        towers = [self._head]
+        cur = self._head.forward[0]
+        while cur is not None:
+            towers.append(cur)
+            cur = cur.forward[0]
+        self._tower_count = len(towers) - 1
+        position = {id(tower): i for i, tower in enumerate(towers)}
+        self._spans.clear()
+        for tower in towers:
+            for lvl in range(tower.height):
+                nxt = tower.forward[lvl]
+                if nxt is not None:
+                    self._spans[(tower.address, lvl)] = (
+                        position[id(nxt)] - position[id(tower)]
+                    )
+        for tower in towers:
+            tower.nodes = []
+            for lvl in range(tower.height):
+                nxt = tower.forward[lvl]
+                hi = self._max_score if nxt is None else nxt.score - 1
+                node = IndexNode(
+                    self.level_offset + (self.max_height - 1 - lvl),
+                    [tower.score],
+                    values=list(tower.members),
+                    lo=tower.score,
+                    hi=hi,
+                )
+                node.address = tower.address + lvl * _LEVEL_NODE_BYTES
+                node.nbytes = _LEVEL_NODE_BYTES
+                tower.nodes.append(node)
+                self._locations[node.node_id] = (tower, lvl)
+        self._dirty = False
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def walk(self, score: Any) -> list[IndexNode]:
+        """Nodes a walker touches finding the greatest tower <= score.
+
+        The head's top-level record is always read first (it is the entry
+        point), then one node per rightward hop.
+        """
+        self.finalize()
+        path: list[IndexNode] = [self._head.nodes[self.max_height - 1]]
+        cur = self._head
+        for lvl in reversed(range(self.max_height)):
+            while cur.forward[lvl] is not None and cur.forward[lvl].score <= score:
+                cur = cur.forward[lvl]
+                path.append(cur.nodes[lvl])
+        return path
+
+    def walk_from(self, node: IndexNode, score: Any) -> list[IndexNode]:
+        """Continue a walk from a cached skip node toward ``score``."""
+        self.finalize()
+        located = self._locations.get(node.node_id)
+        if located is None:
+            raise KeyError(f"node {node!r} is not part of this skip list (stale?)")
+        tower, lvl = located
+        path: list[IndexNode] = [node]
+        cur = tower
+        for level in reversed(range(lvl + 1)):
+            while cur.forward[level] is not None and cur.forward[level].score <= score:
+                cur = cur.forward[level]
+                path.append(cur.nodes[level])
+        return path
+
+    def get(self, score: Any) -> list[Any] | None:
+        """Members stored at exactly ``score``, or None."""
+        cur = self._head
+        for lvl in reversed(range(self.max_height)):
+            while cur.forward[lvl] is not None and cur.forward[lvl].score <= score:
+                cur = cur.forward[lvl]
+        if cur is not self._head and cur.score == score:
+            return list(cur.members)
+        return None
+
+    def rank(self, score: Any) -> int:
+        """Number of towers with score strictly below ``score`` (ZRANK).
+
+        Computed by a skip-level descent over per-pointer spans (the Redis
+        zslGetRank algorithm), so it costs O(log n) like a walk, not O(n).
+        """
+        self.finalize()
+        rank = 0
+        cur = self._head
+        for lvl in reversed(range(self.max_height)):
+            while cur.forward[lvl] is not None and cur.forward[lvl].score < score:
+                rank += self._spans[(cur.address, lvl)]
+                cur = cur.forward[lvl]
+        return rank
+
+    def by_rank(self, rank: int) -> tuple[Any, list[Any]] | None:
+        """The (score, members) of the rank-th tower (0-based), or None."""
+        self.finalize()
+        if rank < 0 or rank >= self._tower_count:
+            return None
+        traversed = -1  # head sits before rank 0
+        cur = self._head
+        for lvl in reversed(range(self.max_height)):
+            while cur.forward[lvl] is not None:
+                step = self._spans[(cur.address, lvl)]
+                if traversed + step > rank:
+                    break
+                traversed += step
+                cur = cur.forward[lvl]
+            if traversed == rank and cur is not self._head:
+                return cur.score, list(cur.members)
+        return None
+
+    def nodes(self) -> Iterator[IndexNode]:
+        self.finalize()
+        cur: _Tower | None = self._head
+        while cur is not None:
+            yield from cur.nodes
+            cur = cur.forward[0]
+
+    def items(self) -> Iterator[tuple[Any, list[Any]]]:
+        cur = self._head.forward[0]
+        while cur is not None:
+            yield cur.score, list(cur.members)
+            cur = cur.forward[0]
+
+    def check_invariants(self) -> None:
+        """Assert ordering, tower-height, and segment-partition invariants."""
+        self.finalize()
+        scores = [s for s, _ in self.items()]
+        assert scores == sorted(scores), "base list out of order"
+        assert len(set(scores)) == len(scores), "duplicate towers for one score"
+        for lvl in range(self.max_height):
+            cur = self._head.forward[0]
+            segment_scores = []
+            while cur is not None:
+                if cur.height > lvl:
+                    segment_scores.append(cur.score)
+                cur = cur.forward[0]
+            # Level-l chain must be the subsequence of taller towers.
+            chain = []
+            hop = self._head.forward[lvl] if lvl < self._head.height else None
+            while hop is not None:
+                chain.append(hop.score)
+                hop = hop.forward[lvl]
+            assert chain == segment_scores, f"level {lvl} chain skips towers"

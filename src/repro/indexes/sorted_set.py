@@ -1,0 +1,179 @@
+"""Sorted sets — Redis-style hash index of skip-list buckets (§4.4).
+
+Records are (member, score) tuples. Scores map to hash buckets; each bucket
+is an ordered skip list. Scores may be *explicit* (user-assigned ordering,
+e.g. feed popularity) or *implicit* (a hash of the member string, letting
+wide string keys fit the hardware's fixed key width).
+
+Bucketing is order-preserving (score-range partitioning, as the paper's
+consistent/order-preserving-hashing discussion permits) so that the global
+score is a valid IX-cache probe key: bucket ranges never overlap, and range
+scans stay meaningful.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Iterator
+from repro.indexes.base import IndexNode, next_index_id
+from repro.indexes.skiplist import SkipList
+from repro.mem.layout import Allocator
+
+_DIRECTORY_ENTRY_BYTES = 16
+
+
+def implicit_score(member: str, score_space: int) -> int:
+    """Deterministic hash of a member string into the score space."""
+    digest = hashlib.blake2b(member.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") % score_space
+
+
+class SortedSet:
+    """Hash directory of score-partitioned skip-list buckets.
+
+    ``score_space`` is the exclusive upper bound on scores; the directory
+    splits it into ``num_buckets`` contiguous ranges. The deep configuration
+    (few buckets, long skip lists) is the paper's "Sets"; many buckets with
+    short lists is "Sets-S".
+    """
+
+    def __init__(
+        self,
+        score_space: int,
+        num_buckets: int = 64,
+        skip_p: float = 0.25,
+        max_height: int = 12,
+        seed: int = 0,
+        allocator: Allocator | None = None,
+    ) -> None:
+        if score_space <= 0:
+            raise ValueError("score_space must be positive")
+        if num_buckets <= 0:
+            raise ValueError("num_buckets must be positive")
+        self.score_space = score_space
+        self.index_id = next_index_id()
+        self.num_buckets = num_buckets
+        self.allocator = allocator or Allocator()
+        self._directory_address = self.allocator.alloc_index(
+            num_buckets * _DIRECTORY_ENTRY_BYTES
+        )
+        self._buckets = [
+            SkipList(
+                p=skip_p,
+                max_height=max_height,
+                seed=seed + b,
+                allocator=self.allocator,
+                level_offset=1,  # level 0 is the directory entry
+            )
+            for b in range(num_buckets)
+        ]
+        self._dir_nodes = [self._make_dir_node(b) for b in range(num_buckets)]
+        self._size = 0
+
+    def _make_dir_node(self, bucket: int) -> IndexNode:
+        lo, hi = self.bucket_range(bucket)
+        node = IndexNode(0, [lo], values=[bucket], lo=lo, hi=hi)
+        node.address = self._directory_address + bucket * _DIRECTORY_ENTRY_BYTES
+        node.nbytes = _DIRECTORY_ENTRY_BYTES
+        return node
+
+    def bucket_of(self, score: int) -> int:
+        if not 0 <= score < self.score_space:
+            raise ValueError(f"score {score} outside [0, {self.score_space})")
+        return score * self.num_buckets // self.score_space
+
+    def bucket_range(self, bucket: int) -> tuple[int, int]:
+        lo = -(-bucket * self.score_space // self.num_buckets)
+        hi = -(-(bucket + 1) * self.score_space // self.num_buckets) - 1
+        return lo, hi
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+
+    def add(self, member: str, score: int | None = None) -> int:
+        """Insert a member; hash the member if no explicit score is given.
+
+        Returns the score actually used.
+        """
+        if score is None:
+            score = implicit_score(member, self.score_space)
+        self._buckets[self.bucket_of(score)].insert(score, member)
+        self._size += 1
+        return score
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        return 1 + max(b.height - 1 for b in self._buckets)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def walk(self, score: int) -> list[IndexNode]:
+        """Directory read, then the bucket's skip-list walk."""
+        bucket = self.bucket_of(score)
+        return [self._dir_nodes[bucket]] + self._buckets[bucket].walk(score)
+
+    def walk_from(self, node: IndexNode, score: int) -> list[IndexNode]:
+        bucket = self.bucket_of(score)
+        if node is self._dir_nodes[bucket]:
+            return [node] + self._buckets[bucket].walk(score)
+        return self._buckets[bucket].walk_from(node, score)
+
+    def members_at(self, score: int) -> list[str]:
+        found = self._buckets[self.bucket_of(score)].get(score)
+        return found or []
+
+    def lookup(self, member: str, score: int | None = None) -> bool:
+        """Membership test: walk to the score, validate by member scan."""
+        if score is None:
+            score = implicit_score(member, self.score_space)
+        return member in self.members_at(score)
+
+    def rank(self, score: int) -> int:
+        """Number of distinct scores strictly below ``score`` (ZRANK).
+
+        Buckets are score-ordered, so the global rank is the tower count of
+        the preceding buckets plus the in-bucket skip-list rank.
+        """
+        bucket = self.bucket_of(score)
+        rank = 0
+        for b in range(bucket):
+            sl = self._buckets[b]
+            sl.finalize()
+            rank += sl._tower_count
+        return rank + self._buckets[bucket].rank(score)
+
+    def by_rank(self, rank: int) -> tuple[int, list[str]] | None:
+        """The (score, members) at a global rank, or None out of range."""
+        if rank < 0:
+            return None
+        remaining = rank
+        for sl in self._buckets:
+            sl.finalize()
+            if remaining < sl._tower_count:
+                return sl.by_rank(remaining)
+            remaining -= sl._tower_count
+        return None
+
+    def range_scan(self, lo: int, hi: int) -> Iterator[tuple[int, str]]:
+        """All (score, member) pairs with lo <= score <= hi, in order."""
+        if lo > hi:
+            return
+        for bucket in range(self.bucket_of(lo), self.bucket_of(min(hi, self.score_space - 1)) + 1):
+            for score, members in self._buckets[bucket].items():
+                if lo <= score <= hi:
+                    for member in members:
+                        yield score, member
+
+    def nodes(self) -> Iterator[IndexNode]:
+        yield from self._dir_nodes
+        for bucket in self._buckets:
+            yield from bucket.nodes()
+
+    def bucket(self, b: int) -> SkipList:
+        return self._buckets[b]

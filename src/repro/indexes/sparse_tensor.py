@@ -1,0 +1,172 @@
+"""Dynamic sparse tensors (Chou & Amarasinghe, OOPSLA'22) — deep SpMM index.
+
+The paper's SpMM workload (Fig. 10) stores matrix B with "the non-zero (NZ)
+column ids indexed in a B+Tree; the leaves hold the NZs and their row ids".
+This module provides that representation: a B+tree over column coordinates
+whose leaf values are the column's nonzero (row, value) lists, allocated in
+the DRAM data region. The tree supports dynamic insertion of new nonzeros
+(what makes the tensor "dynamic").
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from repro.indexes.base import IndexNode
+from repro.indexes.bplustree import BPlusTree
+from repro.mem.layout import Allocator
+from repro.params import KEY_BYTES
+
+_NNZ_ENTRY_BYTES = 2 * KEY_BYTES  # (row id, value)
+
+
+class _Column:
+    """One stored column: its nonzeros and their data-region address."""
+
+    __slots__ = ("col", "entries", "address")
+
+    def __init__(self, col: int, address: int) -> None:
+        self.col = col
+        self.entries: list[tuple[int, float]] = []
+        self.address = address
+
+
+class DynamicSparseTensor:
+    """Column-major sparse matrix behind a B+tree coordinate index.
+
+    ``fanout`` controls index depth: the paper's deep configuration uses a
+    small fan-out so the tree reaches ~10 levels; see
+    :meth:`BPlusTree.fanout_for_depth`.
+    """
+
+    def __init__(
+        self,
+        shape: tuple[int, int],
+        fanout: int = 4,
+        allocator: Allocator | None = None,
+    ) -> None:
+        rows, cols = shape
+        if rows <= 0 or cols <= 0:
+            raise ValueError(f"shape must be positive, got {shape}")
+        self.shape = shape
+        self.allocator = allocator or Allocator()
+        self._tree = BPlusTree(fanout=fanout, allocator=self.allocator)
+        self.index_id = self._tree.index_id
+        self.nnz = 0
+
+    @classmethod
+    def from_coo(
+        cls,
+        shape: tuple[int, int],
+        triples: Iterable[tuple[int, int, float]],
+        fanout: int = 4,
+        allocator: Allocator | None = None,
+    ) -> "DynamicSparseTensor":
+        """Bulk-build from (row, col, value) triples."""
+        tensor = cls(shape, fanout=fanout, allocator=allocator)
+        by_col: dict[int, list[tuple[int, float]]] = {}
+        for r, c, v in triples:
+            tensor._check_coords(r, c)
+            by_col.setdefault(c, []).append((r, v))
+        columns = []
+        for c, entries in by_col.items():
+            entries.sort()
+            column = _Column(
+                c, tensor.allocator.alloc_data(max(1, len(entries)) * _NNZ_ENTRY_BYTES)
+            )
+            column.entries = entries
+            columns.append((c, column))
+            tensor.nnz += len(entries)
+        tensor._tree = BPlusTree.bulk_load(columns, fanout=fanout, allocator=tensor.allocator)
+        tensor.index_id = tensor._tree.index_id
+        return tensor
+
+    def _check_coords(self, row: int, col: int) -> None:
+        rows, cols = self.shape
+        if not (0 <= row < rows and 0 <= col < cols):
+            raise IndexError(f"coordinate ({row}, {col}) outside shape {self.shape}")
+
+    # ------------------------------------------------------------------ #
+    # Dynamic updates
+    # ------------------------------------------------------------------ #
+
+    def set(self, row: int, col: int, value: float) -> None:
+        """Insert or overwrite one nonzero (grows the index if needed)."""
+        self._check_coords(row, col)
+        column = self._tree.get(col)
+        if column is None:
+            column = _Column(col, self.allocator.alloc_data(_NNZ_ENTRY_BYTES))
+            self._tree.insert(col, column)
+        for i, (r, _) in enumerate(column.entries):
+            if r == row:
+                column.entries[i] = (row, value)
+                return
+        column.entries.append((row, value))
+        column.entries.sort()
+        self.nnz += 1
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def root(self) -> IndexNode:
+        return self._tree.root
+
+    @property
+    def height(self) -> int:
+        return self._tree.height
+
+    @property
+    def on_structural_change(self) -> list:
+        """Invalidation hooks of the backing coordinate index."""
+        return self._tree.on_structural_change
+
+    def walk(self, col: int) -> list[IndexNode]:
+        return self._tree.walk(col)
+
+    def walk_from(self, node: IndexNode, col: int) -> list[IndexNode]:
+        return self._tree.walk_from(node, col)
+
+    def nodes(self) -> Iterator[IndexNode]:
+        return self._tree.nodes()
+
+    def col_nonzeros(self, col: int) -> list[tuple[int, float]]:
+        """The (row, value) list of one column ([] if empty)."""
+        column = self._tree.get(col)
+        return list(column.entries) if column is not None else []
+
+    def col_address(self, col: int) -> int | None:
+        column = self._tree.get(col)
+        return column.address if column is not None else None
+
+    def stored_columns(self) -> list[int]:
+        return [c for c, _ in self._tree.items()]
+
+    def get(self, row: int, col: int) -> float:
+        for r, v in self.col_nonzeros(col):
+            if r == row:
+                return v
+        return 0.0
+
+    def to_dense(self) -> list[list[float]]:
+        """Small-matrix helper for tests."""
+        rows, cols = self.shape
+        dense = [[0.0] * cols for _ in range(rows)]
+        for c, column in self._tree.items():
+            for r, v in column.entries:
+                dense[r][c] = v
+        return dense
+
+    def spmv(self, x: list[float]) -> list[float]:
+        """y = A @ x using column-wise accumulation (inner loop of SpMM)."""
+        rows, cols = self.shape
+        if len(x) != cols:
+            raise ValueError(f"vector length {len(x)} != cols {cols}")
+        y = [0.0] * rows
+        for c, column in self._tree.items():
+            xc = x[c]
+            if xc == 0.0:
+                continue
+            for r, v in column.entries:
+                y[r] += v * xc
+        return y

@@ -1,0 +1,127 @@
+"""Relational record table with a primary-key B+tree — Gorgon substrate.
+
+Gorgon runs declarative operators (map/filter, SELECT, WHERE, JOIN) over
+tables of records. Records live in the DRAM data region; the primary key is
+indexed by a B+tree whose leaves point at the records, which is what the
+Scan / Analytics / JOIN workloads walk.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Iterator
+from typing import Any
+
+from repro.indexes.base import IndexNode
+from repro.indexes.bplustree import BPlusTree
+from repro.mem.layout import Allocator
+
+
+class RecordTable:
+    """A table of dict records indexed by an integer primary key."""
+
+    def __init__(
+        self,
+        columns: tuple[str, ...],
+        key_column: str,
+        fanout: int = 9,
+        allocator: Allocator | None = None,
+    ) -> None:
+        if key_column not in columns:
+            raise ValueError(f"key column {key_column!r} not in {columns}")
+        self.columns = columns
+        self.key_column = key_column
+        self.allocator = allocator or Allocator()
+        self._fanout = fanout
+        self._tree = BPlusTree(fanout=fanout, allocator=self.allocator)
+        self.index_id = self._tree.index_id
+        self.record_bytes = 16 * len(columns)
+
+    @classmethod
+    def from_records(
+        cls,
+        columns: tuple[str, ...],
+        key_column: str,
+        records: Iterable[dict[str, Any]],
+        fanout: int = 9,
+        allocator: Allocator | None = None,
+    ) -> "RecordTable":
+        table = cls(columns, key_column, fanout=fanout, allocator=allocator)
+        keyed = []
+        for record in records:
+            table._validate(record)
+            address = table.allocator.alloc_data(table.record_bytes)
+            keyed.append((record[key_column], (address, dict(record))))
+        table._tree = BPlusTree.bulk_load(keyed, fanout=fanout, allocator=table.allocator)
+        table.index_id = table._tree.index_id
+        return table
+
+    def _validate(self, record: dict[str, Any]) -> None:
+        missing = set(self.columns) - set(record)
+        if missing:
+            raise ValueError(f"record missing columns {sorted(missing)}")
+
+    def insert(self, record: dict[str, Any]) -> None:
+        self._validate(record)
+        address = self.allocator.alloc_data(self.record_bytes)
+        self._tree.insert(record[self.key_column], (address, dict(record)))
+
+    def __len__(self) -> int:
+        return len(self._tree)
+
+    @property
+    def height(self) -> int:
+        return self._tree.height
+
+    @property
+    def root(self) -> IndexNode:
+        return self._tree.root
+
+    @property
+    def on_structural_change(self) -> list:
+        """Invalidation hooks of the primary-key index."""
+        return self._tree.on_structural_change
+
+    def walk(self, key: int) -> list[IndexNode]:
+        return self._tree.walk(key)
+
+    def walk_from(self, node: IndexNode, key: int) -> list[IndexNode]:
+        return self._tree.walk_from(node, key)
+
+    def nodes(self) -> Iterator[IndexNode]:
+        return self._tree.nodes()
+
+    # ------------------------------------------------------------------ #
+    # Relational operators (functional semantics)
+    # ------------------------------------------------------------------ #
+
+    def get(self, key: int) -> dict[str, Any] | None:
+        stored = self._tree.get(key)
+        return stored[1] if stored is not None else None
+
+    def record_address(self, key: int) -> int | None:
+        stored = self._tree.get(key)
+        return stored[0] if stored is not None else None
+
+    def select_range(self, lo: int, hi: int) -> Iterator[dict[str, Any]]:
+        """SELECT * WHERE key BETWEEN lo AND hi (index range scan)."""
+        for _, (_, record) in self._tree.range_scan(lo, hi):
+            yield record
+
+    def where(self, predicate: Callable[[dict[str, Any]], bool]) -> Iterator[dict[str, Any]]:
+        """Full-scan filter (the WHERE clause over a non-key column)."""
+        for _, (_, record) in self._tree.items():
+            if predicate(record):
+                yield record
+
+    def join(
+        self, other: "RecordTable", column: str
+    ) -> Iterator[tuple[dict[str, Any], dict[str, Any]]]:
+        """Index nested-loop join: probe ``other``'s key index per record."""
+        for _, (_, record) in self._tree.items():
+            matched = other.get(record[column])
+            if matched is not None:
+                yield record, matched
+
+    def scan(self) -> Iterator[dict[str, Any]]:
+        for _, (_, record) in self._tree.items():
+            yield record

@@ -1,0 +1,68 @@
+"""DMA engine and stream buffers — the streaming-DSA baseline path.
+
+Streaming DSAs (Aurochs, SJoin in Table 1) fetch everything through
+FIFO-ordered DMA with no index reuse: every node touch is a DRAM access.
+The DMA engine here just turns object fetches into timed DRAM block
+transfers; the stream buffer gives sequential prefetch so that *dense*
+streaming is not unfairly penalized (its benefit disappears on pointer
+chases, which is exactly the paper's point).
+"""
+
+from __future__ import annotations
+
+from repro.mem.dram import DRAM
+from repro.params import BLOCK_SIZE
+
+
+class DMAEngine:
+    """Shuttles objects between DRAM and on-chip storage in 64B blocks."""
+
+    def __init__(self, dram: DRAM) -> None:
+        self.dram = dram
+        self.transfers = 0
+
+    def fetch(self, address: int, nbytes: int, now: int) -> int:
+        """Fetch ``nbytes`` at ``address``; return the completion cycle."""
+        done = now
+        for offset in range(0, max(nbytes, 1), BLOCK_SIZE):
+            done = self.dram.access(address + offset, now)
+        self.transfers += 1
+        return done
+
+    def store(self, address: int, nbytes: int, now: int) -> int:
+        done = now
+        for offset in range(0, max(nbytes, 1), BLOCK_SIZE):
+            done = self.dram.access(address + offset, now, write=True)
+        self.transfers += 1
+        return done
+
+
+class StreamBuffer:
+    """Next-block prefetcher over a sequential address stream.
+
+    A read that falls inside the prefetched window is free (already in
+    flight); anything else pays a DRAM access and re-arms the window.
+    """
+
+    def __init__(self, dram: DRAM, depth_blocks: int = 4) -> None:
+        if depth_blocks <= 0:
+            raise ValueError("stream buffer depth must be positive")
+        self.dram = dram
+        self.depth_blocks = depth_blocks
+        self._window_start: int | None = None
+        self.prefetch_hits = 0
+        self.demand_fetches = 0
+
+    def read(self, address: int, now: int) -> int:
+        block = address // BLOCK_SIZE
+        if (
+            self._window_start is not None
+            and self._window_start <= block < self._window_start + self.depth_blocks
+        ):
+            self.prefetch_hits += 1
+            self._window_start = block + 1
+            return now  # already streamed in
+        self.demand_fetches += 1
+        done = self.dram.access(address, now)
+        self._window_start = block + 1
+        return done

@@ -1,0 +1,80 @@
+"""Banked, row-buffer-aware HBM-like DRAM model.
+
+The model is deliberately first-order: per-bank busy-until times give
+throughput limits, open-row tracking gives the hit/miss latency and energy
+split, and a set of distinct touched blocks gives the working-set metric of
+Fig. 16. This substitutes for the paper's Gem5 + HBM setup (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from repro.mem.stats import DRAMStats
+from repro.params import BLOCK_SIZE, DRAMParams
+
+
+class DRAM:
+    """Timing + energy model for the DRAM behind the DSA.
+
+    ``access`` is the only timed entry point: it returns the completion
+    cycle of a 64B read/write issued at ``now`` and advances bank state.
+    """
+
+    def __init__(self, params: DRAMParams | None = None) -> None:
+        self.params = params or DRAMParams()
+        self.stats = DRAMStats()
+        self._bank_free = [0] * self.params.banks
+        self._open_row: list[int | None] = [None] * self.params.banks
+
+    def bank_of(self, address: int) -> int:
+        """Banks are interleaved at block granularity (common for HBM)."""
+        return (address // BLOCK_SIZE) % self.params.banks
+
+    def row_of(self, address: int) -> int:
+        return address // self.params.row_bytes
+
+    def access(self, address: int, now: int, *, write: bool = False, nbytes: int = BLOCK_SIZE) -> int:
+        """Issue an access at cycle ``now``; return its completion cycle."""
+        p = self.params
+        bank = self.bank_of(address)
+        row = self.row_of(address)
+        start = max(now, self._bank_free[bank])
+        if self._open_row[bank] == row:
+            latency, energy = p.t_row_hit, p.e_row_hit
+            self.stats.row_hits += 1
+        else:
+            latency, energy = p.t_access, p.e_access
+            self.stats.row_misses += 1
+            self._open_row[bank] = row
+        self._bank_free[bank] = start + p.t_occupancy
+        if write:
+            self.stats.writes += 1
+        else:
+            self.stats.reads += 1
+        self.stats.energy_fj += energy
+        self.stats.bytes_moved += nbytes
+        first_block = address // BLOCK_SIZE
+        last_block = (address + max(nbytes, 1) - 1) // BLOCK_SIZE
+        for block in range(first_block, last_block + 1):
+            self.stats.touched_blocks.add(block)
+        return start + latency
+
+    def untimed_access(self, address: int, *, write: bool = False, nbytes: int = BLOCK_SIZE) -> int:
+        """Access without bank timing; returns the nominal latency.
+
+        Used by the functional (non-event-driven) simulation passes, which
+        only need traffic/energy/working-set accounting.
+        """
+        done = self.access(address, 0, write=write, nbytes=nbytes)
+        return done
+
+    def bandwidth_utilization(self, total_cycles: int) -> float:
+        """Fraction of peak bandwidth consumed over ``total_cycles``."""
+        if total_cycles <= 0:
+            return 0.0
+        peak = self.params.peak_bytes_per_cycle * total_cycles
+        return self.stats.bytes_moved / peak
+
+    def reset_timing(self) -> None:
+        """Clear bank state but keep cumulative statistics."""
+        self._bank_free = [0] * self.params.banks
+        self._open_row = [None] * self.params.banks

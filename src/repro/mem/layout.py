@@ -1,0 +1,85 @@
+"""Synthetic DRAM layout: regions and a bump allocator.
+
+Index nodes live in an *index region* and leaf data objects in a *data
+region*, matching the paper's split ("The data object itself is allocated in
+a separate region in the DRAM ... our cache only targets the index traversal
+itself"). Every allocation gets a unique, block-aligned address so that
+address-tagged caches, bank interleaving, and working-set accounting are all
+meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.params import BLOCK_SIZE
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round ``value`` up to a multiple of ``alignment``."""
+    if alignment <= 0:
+        raise ValueError(f"alignment must be positive, got {alignment}")
+    return (value + alignment - 1) // alignment * alignment
+
+
+@dataclass
+class Region:
+    """A contiguous address range with a bump pointer."""
+
+    name: str
+    base: int
+    size: int
+    _cursor: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        self._cursor = self.base
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    @property
+    def used(self) -> int:
+        return self._cursor - self.base
+
+    def alloc(self, nbytes: int, alignment: int = BLOCK_SIZE) -> int:
+        """Return the address of a fresh, aligned allocation."""
+        if nbytes <= 0:
+            raise ValueError(f"allocation size must be positive, got {nbytes}")
+        addr = align_up(self._cursor, alignment)
+        if addr + nbytes > self.end:
+            raise MemoryError(
+                f"region {self.name!r} exhausted: need {nbytes} bytes at {addr:#x}, "
+                f"region ends at {self.end:#x}"
+            )
+        self._cursor = addr + nbytes
+        return addr
+
+
+class Allocator:
+    """Two-region allocator: index metadata and leaf data objects."""
+
+    INDEX_BASE = 0x1000_0000
+    DATA_BASE = 0x8000_0000
+    DEFAULT_REGION_SIZE = 1 << 30
+
+    def __init__(self, region_size: int = DEFAULT_REGION_SIZE) -> None:
+        self.index_region = Region("index", self.INDEX_BASE, region_size)
+        self.data_region = Region("data", self.DATA_BASE, region_size)
+
+    def alloc_index(self, nbytes: int) -> int:
+        return self.index_region.alloc(nbytes)
+
+    def alloc_data(self, nbytes: int) -> int:
+        return self.data_region.alloc(nbytes)
+
+    @staticmethod
+    def block_of(address: int) -> int:
+        return address // BLOCK_SIZE
+
+    @staticmethod
+    def blocks_spanned(address: int, nbytes: int) -> range:
+        """All 64B block ids overlapped by [address, address + nbytes)."""
+        first = address // BLOCK_SIZE
+        last = (address + max(nbytes, 1) - 1) // BLOCK_SIZE
+        return range(first, last + 1)

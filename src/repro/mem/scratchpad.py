@@ -1,0 +1,81 @@
+"""Per-tile scratchpad for staging leaf data objects.
+
+Each compute tile "includes a local scratchpad for staging the leaf data
+objects and capturing immediate reuse of fields within the object; it also
+acts as a defacto write buffer" (Section 3). The scratchpad is software
+managed — no tags — so it models explicit staging, not caching.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any
+
+
+class Scratchpad:
+    """Explicitly-managed staging buffer with FIFO spill.
+
+    ``stage`` copies an object in (evicting the oldest entries if full) and
+    ``read`` hits only if the object is currently staged. Dirty entries are
+    tracked so the write-buffer role is observable.
+    """
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("scratchpad capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        self.used_bytes = 0
+        self._entries: OrderedDict[Any, tuple[int, bool]] = OrderedDict()
+        self.spills = 0
+        self.stages = 0
+        self.reads = 0
+        self.read_hits = 0
+
+    def stage(self, obj_id: Any, nbytes: int, *, dirty: bool = False) -> list[Any]:
+        """Stage an object; return the list of spilled (evicted) dirty ids."""
+        if nbytes > self.capacity_bytes:
+            raise ValueError(
+                f"object of {nbytes} bytes exceeds scratchpad capacity {self.capacity_bytes}"
+            )
+        spilled_dirty: list[Any] = []
+        if obj_id in self._entries:
+            old_bytes, old_dirty = self._entries.pop(obj_id)
+            self.used_bytes -= old_bytes
+            dirty = dirty or old_dirty
+        while self.used_bytes + nbytes > self.capacity_bytes:
+            victim, (victim_bytes, victim_dirty) = self._entries.popitem(last=False)
+            self.used_bytes -= victim_bytes
+            self.spills += 1
+            if victim_dirty:
+                spilled_dirty.append(victim)
+        self._entries[obj_id] = (nbytes, dirty)
+        self.used_bytes += nbytes
+        self.stages += 1
+        return spilled_dirty
+
+    def read(self, obj_id: Any) -> bool:
+        self.reads += 1
+        hit = obj_id in self._entries
+        if hit:
+            self.read_hits += 1
+        return hit
+
+    def mark_dirty(self, obj_id: Any) -> None:
+        if obj_id not in self._entries:
+            raise KeyError(f"object {obj_id!r} not staged")
+        nbytes, _ = self._entries[obj_id]
+        self._entries[obj_id] = (nbytes, True)
+
+    def drain_dirty(self) -> list[Any]:
+        """Return and clean all dirty ids (the write-buffer flush)."""
+        dirty = [k for k, (_, d) in self._entries.items() if d]
+        for k in dirty:
+            nbytes, _ = self._entries[k]
+            self._entries[k] = (nbytes, False)
+        return dirty
+
+    def __contains__(self, obj_id: Any) -> bool:
+        return obj_id in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)

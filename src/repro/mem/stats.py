@@ -1,0 +1,75 @@
+"""Counters shared by every cache and DRAM model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/insert accounting for one cache instance."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    bypasses: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses over accesses; 0.0 when the cache was never probed."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    @property
+    def hit_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+    def record(self, hit: bool) -> None:
+        self.accesses += 1
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+
+    def merged(self, other: "CacheStats") -> "CacheStats":
+        return CacheStats(
+            accesses=self.accesses + other.accesses,
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            insertions=self.insertions + other.insertions,
+            evictions=self.evictions + other.evictions,
+            bypasses=self.bypasses + other.bypasses,
+        )
+
+
+@dataclass
+class DRAMStats:
+    """Traffic, energy, and working-set accounting for the DRAM model.
+
+    ``touched_blocks`` tracks *distinct* 64B blocks read, which is the
+    numerator of the paper's working-set metric (Fig. 16: "the fraction of
+    the index touched in the DRAM").
+    """
+
+    reads: int = 0
+    writes: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    energy_fj: float = 0.0
+    bytes_moved: int = 0
+    touched_blocks: set[int] = field(default_factory=set)
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+    def working_set_fraction(self, total_blocks: int) -> float:
+        """Distinct blocks touched over the blocks of the whole structure."""
+        if total_blocks == 0:
+            return 0.0
+        return min(1.0, len(self.touched_blocks) / total_blocks)

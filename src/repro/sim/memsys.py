@@ -1,0 +1,501 @@
+"""Memory-system organizations under comparison (Section 5, Table 1).
+
+Each variant turns one index walk into a :class:`WalkTrace` of timed
+accesses while mutating its cache state:
+
+* ``stream``   — streaming DSA: every node touch goes to DRAM.
+* ``address``  — set-associative LRU address cache: full root-to-leaf walk
+  with per-block probes (a hit eliminates a single DRAM access).
+* ``fa_opt``   — fully-associative address cache with Belady-OPT
+  replacement (two-pass; walks must replay in preparation order).
+* ``xcache``   — X-cache [50]: key-tagged leaf cache; a hit short-circuits
+  the whole walk, a miss walks root-to-leaf from DRAM and inserts the leaf.
+* ``metal`` / ``metal_ix`` — IX-cache probe short-circuits to the deepest
+  cached covering node; nodes fetched on the way down are offered to the
+  pattern controller (METAL) or greedily inserted (METAL-IX).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Callable, Iterable, Sequence
+from typing import Any
+
+from repro.core.descriptors import WalkContext
+from repro.core.metal import Metal, MetalIX
+from repro.indexes.base import IndexNode
+from repro.mem.address_cache import AddressCache
+from repro.mem.opt_cache import belady_hit_flags
+from repro.mem.stats import CacheStats
+from repro.params import BLOCK_SIZE, NS_STRIDE, CacheParams, SimParams
+from repro.sim.engine import Access, WalkTrace
+
+
+def namespace_fn(index: Any) -> Callable[[int], int]:
+    """Map raw index keys into the shared, per-index namespaced key space."""
+    base = getattr(index, "index_id", 0) * NS_STRIDE
+
+    def ns(key: Any) -> int:
+        if key is None or key == float("-inf"):
+            key = 0
+        elif key == float("inf"):
+            key = NS_STRIDE - 1
+        k = int(key)
+        if k < 0:
+            k = 0
+        elif k >= NS_STRIDE:
+            k = NS_STRIDE - 1
+        return base + k
+
+    return ns
+
+
+def _node_blocks(node: IndexNode) -> list[int]:
+    """Block-aligned addresses a walker actually touches in a node.
+
+    A multi-block node is binary-searched, not read whole: the walker
+    fetches the header block plus ~log2(blocks) probe blocks. Every memory
+    organization uses the same footprint, so comparisons stay fair.
+    """
+    first = node.address - (node.address % BLOCK_SIZE)
+    total = max(1, -(-(node.address + max(node.nbytes, 1) - first) // BLOCK_SIZE))
+    touched = min(total, 1 + max(0, total - 1).bit_length())
+    # Header plus evenly spaced probe blocks (deterministic for replay).
+    if touched >= total:
+        picks = range(total)
+    else:
+        step = total / touched
+        picks = sorted({int(i * step) for i in range(touched)})
+    return [first + p * BLOCK_SIZE for p in picks]
+
+
+class MemorySystem(ABC):
+    """Turns walks into access traces while maintaining cache state."""
+
+    name: str = "abstract"
+
+    def __init__(self, sim: SimParams | None = None) -> None:
+        self.sim = sim or SimParams()
+
+    @abstractmethod
+    def process_walk(self, index: Any, key: int) -> WalkTrace:
+        """Produce the access trace for one point walk."""
+
+    def process_range_scan(self, index: Any, lo: int, hi: int) -> WalkTrace:
+        """Walk to ``lo`` then stream leaves through ``hi`` (Section 2.2).
+
+        Range scans are the other half of the paper's access mix ("both
+        range scans and point queries are common"). The walk to the low
+        edge is cacheable; the leaf stream that follows is sequential and
+        handled by :meth:`_scan_leaf` (DRAM by default — caches override
+        to serve cached leaves on-chip).
+        """
+        trace = self.process_walk(index, lo)
+        leaf = index.walk(lo)[-1]
+        leaves = 0
+        while leaf is not None and leaf.lo is not None and leaf.lo <= hi:
+            if leaves > 0:  # the first leaf was fetched by the walk
+                self._scan_leaf(index, leaf, trace.accesses)
+                trace.nodes_visited += 1
+            leaves += 1
+            leaf = getattr(leaf, "next_leaf", None)
+        return trace
+
+    def _scan_leaf(self, index: Any, leaf: IndexNode, accesses: list[Access]) -> None:
+        for addr in _node_blocks(leaf):
+            accesses.append(Access("dram", addr, BLOCK_SIZE))
+
+    @property
+    def cache_stats(self) -> CacheStats | None:
+        return None
+
+    @property
+    def cache_accesses(self) -> int:
+        stats = self.cache_stats
+        return stats.accesses if stats is not None else 0
+
+    def _search(self) -> Access:
+        return Access("compute", cycles=self.sim.t_search)
+
+
+class StreamingMemSys(MemorySystem):
+    """No index reuse: each visited node is a DRAM fetch (Aurochs/SJoin)."""
+
+    name = "stream"
+
+    def process_walk(self, index: Any, key: int) -> WalkTrace:
+        path = index.walk(key)
+        accesses: list[Access] = []
+        for node in path:
+            for addr in _node_blocks(node):
+                accesses.append(Access("dram", addr, BLOCK_SIZE))
+            accesses.append(self._search())
+        return WalkTrace(key, accesses, start_level=0, nodes_visited=len(path))
+
+
+class AddressCacheMemSys(MemorySystem):
+    """Conventional address cache in front of DRAM (Widx / MAD style).
+
+    ``prefetch=True`` adds a next-line prefetcher (the classic linked-data
+    mitigation the related work surveys): every demand miss also pulls the
+    following block. It helps multi-block nodes but cannot predict the
+    data-dependent child pointer — exactly the limitation the paper's
+    walks expose.
+    """
+
+    name = "address"
+
+    def __init__(
+        self,
+        sim: SimParams | None = None,
+        cache_params: CacheParams | None = None,
+        prefetch: bool = False,
+    ) -> None:
+        super().__init__(sim)
+        self.cache = AddressCache(cache_params)
+        self.prefetch = prefetch
+        if prefetch:
+            self.name = "address_pf"
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        return self.cache.stats
+
+    def process_walk(self, index: Any, key: int) -> WalkTrace:
+        path = index.walk(key)
+        accesses: list[Access] = []
+        for node in path:
+            for block_addr in _node_blocks(node):
+                accesses.append(Access(
+                    "sram", cycles=self.sim.t_addr_probe,
+                    port=block_addr // BLOCK_SIZE,
+                ))
+                if not self.cache.lookup(block_addr):
+                    accesses.append(Access("dram", block_addr, BLOCK_SIZE))
+                    self.cache.insert(block_addr)
+                    if self.prefetch:
+                        nxt = block_addr + BLOCK_SIZE
+                        if not self.cache.contains(nxt):
+                            accesses.append(Access("dram_prefetch", nxt, BLOCK_SIZE))
+                            self.cache.insert(nxt)
+            accesses.append(self._search())
+        return WalkTrace(key, accesses, start_level=0, nodes_visited=len(path))
+
+    def _scan_leaf(self, index: Any, leaf: IndexNode, accesses: list[Access]) -> None:
+        for block_addr in _node_blocks(leaf):
+            accesses.append(Access(
+                "sram", cycles=self.sim.t_addr_probe,
+                port=block_addr // BLOCK_SIZE,
+            ))
+            if not self.cache.lookup(block_addr):
+                accesses.append(Access("dram", block_addr, BLOCK_SIZE))
+                self.cache.insert(block_addr)
+
+
+class HierarchyMemSys(MemorySystem):
+    """Two-level (L1 + shared L2) address hierarchy baseline.
+
+    A stronger conventional strawman than the flat address cache: walkers
+    get a fast private-ish L1 backed by the shared L2. Walks still
+    serialize level by level; only the per-level service latency changes.
+    """
+
+    name = "address_l2"
+
+    def __init__(
+        self,
+        sim: SimParams | None = None,
+        cache_params: CacheParams | None = None,
+    ) -> None:
+        super().__init__(sim)
+        from repro.mem.hierarchy import CacheHierarchy, HierarchyParams
+
+        if cache_params is not None:
+            # Split the budget 1:7 between L1 and L2 (typical ratio).
+            l1_bytes = max(BLOCK_SIZE * 4, cache_params.capacity_bytes // 8)
+            params = HierarchyParams(
+                l1=CacheParams(capacity_bytes=l1_bytes, ways=4, t_hit=2),
+                l2=CacheParams(
+                    capacity_bytes=max(BLOCK_SIZE * 4,
+                                       cache_params.capacity_bytes - l1_bytes),
+                    ways=cache_params.ways,
+                    t_hit=14,
+                ),
+            )
+            self.hierarchy = CacheHierarchy(params)
+        else:
+            self.hierarchy = CacheHierarchy()
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        # Report the L2 (shared level) statistics: the L1 is a latency
+        # filter, capacity behaviour lives in the L2.
+        return self.hierarchy.l2.stats
+
+    def process_walk(self, index: Any, key: int) -> WalkTrace:
+        path = index.walk(key)
+        accesses: list[Access] = []
+        for node in path:
+            for block_addr in _node_blocks(node):
+                level = self.hierarchy.lookup(block_addr)
+                if level == 1:
+                    accesses.append(Access(
+                        "sram", cycles=self.hierarchy.latency_of(1)
+                    ))
+                elif level == 2:
+                    accesses.append(Access(
+                        "sram", cycles=self.hierarchy.latency_of(2),
+                        port=block_addr // BLOCK_SIZE,
+                    ))
+                else:
+                    accesses.append(Access(
+                        "sram", cycles=self.hierarchy.miss_latency_cycles,
+                        port=block_addr // BLOCK_SIZE,
+                    ))
+                    accesses.append(Access("dram", block_addr, BLOCK_SIZE))
+                    self.hierarchy.insert(block_addr)
+            accesses.append(self._search())
+        return WalkTrace(key, accesses, start_level=0, nodes_visited=len(path))
+
+
+class FAOPTMemSys(MemorySystem):
+    """Fully-associative address cache with Belady-OPT replacement.
+
+    Built via :meth:`prepare` from the complete walk sequence; walks must
+    then be processed in exactly that order.
+    """
+
+    name = "fa_opt"
+
+    def __init__(
+        self,
+        walk_blocks: list[list[int]],
+        hit_flags: list[bool],
+        sim: SimParams | None = None,
+    ) -> None:
+        super().__init__(sim)
+        self._walk_blocks = walk_blocks
+        self._flags = hit_flags
+        self._walk_cursor = 0
+        self._flag_cursor = 0
+        self.stats = CacheStats()
+
+    @classmethod
+    def prepare(
+        cls,
+        requests: Iterable[tuple[Any, int]],
+        cache_params: CacheParams | None = None,
+        sim: SimParams | None = None,
+    ) -> "FAOPTMemSys":
+        """Two-pass construction from (index, key) walk requests."""
+        params = cache_params or CacheParams()
+        walk_blocks: list[list[int]] = []
+        flat: list[int] = []
+        for index, key in requests:
+            blocks = []
+            for node in index.walk(key):
+                blocks.extend(addr // BLOCK_SIZE for addr in _node_blocks(node))
+            walk_blocks.append(blocks)
+            flat.extend(blocks)
+        flags = belady_hit_flags(flat, params.entries)
+        return cls(walk_blocks, flags, sim)
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        return self.stats
+
+    def process_walk(self, index: Any, key: int) -> WalkTrace:
+        if self._walk_cursor >= len(self._walk_blocks):
+            raise IndexError("FA-OPT replayed more walks than prepared")
+        blocks = self._walk_blocks[self._walk_cursor]
+        self._walk_cursor += 1
+        accesses: list[Access] = []
+        for block in blocks:
+            # Fully-associative lookup = CAM match across every entry.
+            accesses.append(Access(
+                "sram", cycles=self.sim.t_fa_probe, port=block,
+            ))
+            hit = self._flags[self._flag_cursor]
+            self._flag_cursor += 1
+            self.stats.record(hit)
+            if not hit:
+                self.stats.insertions += 1
+                accesses.append(Access("dram", block * BLOCK_SIZE, BLOCK_SIZE))
+            accesses.append(self._search())
+        return WalkTrace(key, accesses, start_level=0, nodes_visited=len(blocks))
+
+
+class XCacheMemSys(MemorySystem):
+    """X-cache: leaf cache tagged by application key."""
+
+    name = "xcache"
+
+    def __init__(
+        self, sim: SimParams | None = None, cache_params: CacheParams | None = None
+    ) -> None:
+        super().__init__(sim)
+        from repro.mem.xcache import XCache
+
+        self.cache = XCache(cache_params)
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        return self.cache.stats
+
+    def process_walk(self, index: Any, key: int) -> WalkTrace:
+        ns = namespace_fn(index)
+        accesses: list[Access] = [
+            Access("sram", cycles=self.sim.t_addr_probe, port=hash(ns(key)) & 0xFFFF)
+        ]
+        leaf = self.cache.lookup(ns(key))
+        if leaf is not None:
+            # Fast path: the whole walk is short-circuited.
+            return WalkTrace(
+                key,
+                accesses,
+                start_level=getattr(leaf, "level", 0),
+                nodes_visited=0,
+                short_circuited=True,
+                full_hit=True,
+            )
+        path = index.walk(key)
+        for node in path:
+            for addr in _node_blocks(node):
+                accesses.append(Access("dram", addr, BLOCK_SIZE))
+            accesses.append(self._search())
+        self.cache.insert(ns(key), path[-1])
+        return WalkTrace(key, accesses, start_level=0, nodes_visited=len(path))
+
+
+class MetalMemSys(MemorySystem):
+    """METAL / METAL-IX: IX-cache probe + pattern-directed insertions."""
+
+    def __init__(self, policy: MetalIX, sim: SimParams | None = None) -> None:
+        super().__init__(sim)
+        self.policy = policy
+        self.name = policy.name
+        self._tracked: set[int] = set()
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        return self.policy.stats
+
+    def _track(self, index: Any) -> None:
+        """Subscribe to the index's structural changes for invalidation."""
+        index_id = getattr(index, "index_id", None)
+        if index_id is None or index_id in self._tracked:
+            return
+        self._tracked.add(index_id)
+        hooks = getattr(index, "on_structural_change", None)
+        if hooks is None:
+            return
+        ns = namespace_fn(index)
+
+        def invalidate(lo: Any, hi: Any) -> None:
+            self.policy.cache.invalidate_range(ns(lo), ns(hi))
+
+        hooks.append(invalidate)
+
+    def process_walk(self, index: Any, key: int) -> WalkTrace:
+        self._track(index)
+        ns = namespace_fn(index)
+        height = index.height
+        self.policy.begin_walk(index.index_id, key)
+        accesses: list[Access] = [
+            Access("sram", cycles=self.sim.t_ix_probe,
+                   port=self.policy.cache.set_of(ns(key)))
+        ]
+        start = self.policy.probe(ns(key))
+        if start is not None and not start.covers(key):
+            # Stale hit: the index mutated under us and no invalidation
+            # hook was wired. Fall back to a full walk.
+            start = None
+        path = None
+        if start is not None:
+            try:
+                path = index.walk_from(start, key)
+            except KeyError:
+                # Stale node no longer part of the structure (rebuilt).
+                path = None
+        if path is not None and start is not None:
+            remaining = path[1:]  # the cached node itself is on-chip
+            start_level = start.level
+            short = True
+        else:
+            path = index.walk(key)
+            remaining = path
+            start_level = 0
+            short = False
+        for position, node in enumerate(remaining):
+            for addr in _node_blocks(node):
+                accesses.append(Access("dram", addr, BLOCK_SIZE))
+            accesses.append(self._search())
+            self.policy.consider(
+                index.index_id, node, height, ns, WalkContext(short, position),
+                key=ns(key),
+            )
+        self.policy.end_walk()
+        return WalkTrace(
+            key,
+            accesses,
+            start_level=start_level,
+            nodes_visited=len(remaining),
+            short_circuited=short,
+            full_hit=short and not remaining,
+        )
+
+    def _scan_leaf(self, index: Any, leaf: IndexNode, accesses: list[Access]) -> None:
+        ns = namespace_fn(index)
+        accesses.append(Access(
+            "sram", cycles=self.sim.t_ix_probe,
+            port=self.policy.cache.set_of(ns(leaf.lo)) if leaf.lo is not None else -1,
+        ))
+        if leaf.lo is not None and self.policy.cache.peek(ns(leaf.lo)) is leaf:
+            return  # leaf already resident: served on-chip
+        for addr in _node_blocks(leaf):
+            accesses.append(Access("dram", addr, BLOCK_SIZE))
+        self.policy.consider(
+            index.index_id, leaf, index.height, ns,
+            WalkContext(True, 0), key=ns(leaf.lo) if leaf.lo is not None else None,
+        )
+
+
+def make_memsys(
+    kind: str,
+    sim: SimParams | None = None,
+    cache_params: CacheParams | None = None,
+    descriptors: Any = None,
+    requests: Sequence[tuple[Any, int]] | None = None,
+    batch_walks: int = 1_000,
+    tune: bool = True,
+    **metal_kwargs,
+) -> MemorySystem:
+    """Factory over every organization the evaluation compares.
+
+    ``descriptors`` is required for ``metal``; ``requests`` is required for
+    ``fa_opt`` (the two-pass OPT construction).
+    """
+    if kind == "stream":
+        return StreamingMemSys(sim)
+    if kind == "address":
+        return AddressCacheMemSys(sim, cache_params)
+    if kind == "address_pf":
+        return AddressCacheMemSys(sim, cache_params, prefetch=True)
+    if kind == "address_l2":
+        return HierarchyMemSys(sim, cache_params)
+    if kind == "fa_opt":
+        if requests is None:
+            raise ValueError("fa_opt needs the full request sequence")
+        return FAOPTMemSys.prepare(requests, cache_params, sim)
+    if kind == "xcache":
+        return XCacheMemSys(sim, cache_params)
+    if kind == "metal_ix":
+        return MetalMemSys(MetalIX(cache_params, **metal_kwargs), sim)
+    if kind == "metal":
+        if descriptors is None:
+            raise ValueError("metal needs reuse descriptors")
+        policy = Metal(
+            descriptors, cache_params, batch_walks=batch_walks, tune=tune, **metal_kwargs
+        )
+        return MetalMemSys(policy, sim)
+    raise ValueError(f"unknown memory system kind {kind!r}")

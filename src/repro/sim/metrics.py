@@ -1,0 +1,240 @@
+"""Run orchestration and result metrics.
+
+:func:`simulate` drives a memory system over a workload's walk requests,
+times the traces on the event engine, and bundles the metrics every
+experiment consumes: makespan, average walk latency, miss rate, DRAM
+energy/traffic, and the working-set fraction of Fig. 16.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, NamedTuple
+
+from repro.mem.dram import DRAM
+from repro.mem.layout import Allocator
+from repro.mem.stats import CacheStats, DRAMStats
+from repro.params import BLOCK_SIZE, SimParams
+from repro.sim.engine import Access, Engine, WalkTrace
+from repro.sim.memsys import MemorySystem
+
+
+class WalkRequest(NamedTuple):
+    """One unit of DSA work: walk ``index`` for ``key``, then compute.
+
+    ``data_address``/``data_bytes`` describe the leaf data-object fetch
+    (identical across cache designs — the caches only target the index).
+    ``compute_cycles`` is the application compute per walk (Table 2's
+    Ops/Compute divided by tile issue width).
+    """
+
+    index: Any
+    key: int
+    compute_cycles: int = 0
+    data_address: int | None = None
+    data_bytes: int = 64
+    #: When set, the request is a range scan [key, scan_hi]: the walk to
+    #: ``key`` is followed by a leaf stream through ``scan_hi``.
+    scan_hi: int | None = None
+
+
+@dataclass
+class RunResult:
+    """Everything the benchmarks report about one (memsys, workload) run."""
+
+    name: str
+    makespan: int
+    num_walks: int
+    total_walk_cycles: int
+    dram: DRAMStats
+    cache_stats: CacheStats | None
+    total_index_blocks: int
+    short_circuited: int = 0
+    full_hits: int = 0
+    nodes_visited: int = 0
+    start_levels: list[int] = field(default_factory=list)
+    walk_latencies: list[int] = field(default_factory=list)
+    bandwidth_utilization: float = 0.0
+    #: Distinct index blocks fetched from DRAM per window of walks,
+    #: averaged, over the total index blocks (secondary locality metric).
+    windowed_working_set: float = 0.0
+    #: Index-region DRAM block fetches this run actually performed.
+    index_dram_accesses: int = 0
+    #: Index-region DRAM block fetches a streaming (cache-less) DSA would
+    #: perform on the same requests — the Fig. 16 denominator.
+    baseline_index_accesses: int = 0
+
+    @property
+    def avg_walk_latency(self) -> float:
+        if self.num_walks == 0:
+            return 0.0
+        return self.total_walk_cycles / self.num_walks
+
+    @property
+    def miss_rate(self) -> float:
+        return self.cache_stats.miss_rate if self.cache_stats else 1.0
+
+    @property
+    def working_set_fraction(self) -> float:
+        """Fig. 16: fraction of the index's walk traffic served by DRAM.
+
+        1.0 for a streaming DSA (every node touch is a DRAM fetch); caches
+        shrink it by serving touches on-chip, and METAL shrinks it further
+        by eliminating touches outright (short-circuits).
+        """
+        if self.baseline_index_accesses == 0:
+            return 0.0
+        return min(1.0, self.index_dram_accesses / self.baseline_index_accesses)
+
+    @property
+    def dram_energy_fj(self) -> float:
+        return self.dram.energy_fj
+
+    def speedup_vs(self, baseline: "RunResult") -> float:
+        if self.makespan == 0:
+            return float("inf")
+        return baseline.makespan / self.makespan
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable summary (for machine-readable reports)."""
+        return {
+            "system": self.name,
+            "makespan": self.makespan,
+            "num_walks": self.num_walks,
+            "avg_walk_latency": self.avg_walk_latency,
+            "miss_rate": self.miss_rate,
+            "working_set_fraction": self.working_set_fraction,
+            "short_circuited": self.short_circuited,
+            "full_hits": self.full_hits,
+            "nodes_visited": self.nodes_visited,
+            "dram": {
+                "accesses": self.dram.accesses,
+                "energy_fj": self.dram.energy_fj,
+                "bytes_moved": self.dram.bytes_moved,
+                "row_hits": self.dram.row_hits,
+                "row_misses": self.dram.row_misses,
+            },
+            "cache": (
+                {
+                    "accesses": self.cache_stats.accesses,
+                    "hits": self.cache_stats.hits,
+                    "misses": self.cache_stats.misses,
+                    "insertions": self.cache_stats.insertions,
+                    "evictions": self.cache_stats.evictions,
+                    "bypasses": self.cache_stats.bypasses,
+                }
+                if self.cache_stats is not None
+                else None
+            ),
+            "index_dram_accesses": self.index_dram_accesses,
+            "bandwidth_utilization": self.bandwidth_utilization,
+        }
+
+
+def _windowed_working_set(
+    traces: list[WalkTrace], total_index_blocks: int, window: int
+) -> float:
+    """Average distinct index-region DRAM blocks per window of walks.
+
+    This is the Fig. 16 working-set metric: how much of the index a steady
+    window of walks actually pulls from DRAM. Data-region accesses are
+    excluded (identical across cache designs).
+    """
+    if total_index_blocks <= 0 or not traces:
+        return 0.0
+    data_base_block = Allocator.DATA_BASE // BLOCK_SIZE
+    fractions: list[float] = []
+    for start in range(0, len(traces), window):
+        touched: set[int] = set()
+        for trace in traces[start : start + window]:
+            for access in trace.accesses:
+                if access.kind != "dram":
+                    continue
+                first = access.address // BLOCK_SIZE
+                if first >= data_base_block:
+                    continue
+                last = (access.address + max(access.nbytes, 1) - 1) // BLOCK_SIZE
+                touched.update(range(first, last + 1))
+        fractions.append(min(1.0, len(touched) / total_index_blocks))
+    return sum(fractions) / len(fractions)
+
+
+def simulate(
+    memsys: MemorySystem,
+    requests: list[WalkRequest],
+    sim: SimParams | None = None,
+    total_index_blocks: int = 0,
+    timed: bool = True,
+    record_latencies: bool = False,
+    working_set_window: int = 2_000,
+) -> RunResult:
+    """Run a workload through a memory system and time it.
+
+    The functional pass (trace generation + cache state) happens in request
+    order; the engine then times the traces with walker-context overlap and
+    bank contention. ``timed=False`` uses the cheap functional timing.
+    """
+    from repro.sim.memsys import _node_blocks  # avoid an import cycle
+
+    sim = sim or memsys.sim
+    traces: list[WalkTrace] = []
+    short = full = visited = 0
+    index_dram = baseline = 0
+    start_levels: list[int] = []
+    data_base = Allocator.DATA_BASE
+    baseline_cache: dict[tuple[int, int], int] = {}
+    for request in requests:
+        if request.scan_hi is not None:
+            trace = memsys.process_range_scan(
+                request.index, request.key, request.scan_hi
+            )
+        else:
+            trace = memsys.process_walk(request.index, request.key)
+        index_dram += sum(
+            1
+            for access in trace.accesses
+            if access.kind == "dram" and access.address < data_base
+        )
+        walk_id = (id(request.index), request.key)
+        if walk_id not in baseline_cache:
+            baseline_cache[walk_id] = sum(
+                len(_node_blocks(node)) for node in request.index.walk(request.key)
+            )
+        baseline += baseline_cache[walk_id]
+        if request.data_address is not None:
+            trace.accesses.append(
+                Access("dram", request.data_address, request.data_bytes)
+            )
+        if request.compute_cycles:
+            trace.accesses.append(Access("compute", cycles=request.compute_cycles))
+        traces.append(trace)
+        short += trace.short_circuited
+        full += trace.full_hit
+        visited += trace.nodes_visited
+        start_levels.append(trace.start_level)
+
+    engine = Engine(sim, DRAM(sim.dram))
+    if timed:
+        result = engine.run(traces, record_latencies=record_latencies)
+    else:
+        result = engine.run_functional(traces)
+    return RunResult(
+        name=memsys.name,
+        makespan=result.makespan,
+        num_walks=result.num_walks,
+        total_walk_cycles=result.total_walk_cycles,
+        dram=engine.dram.stats,
+        cache_stats=memsys.cache_stats,
+        total_index_blocks=total_index_blocks,
+        short_circuited=short,
+        full_hits=full,
+        nodes_visited=visited,
+        start_levels=start_levels,
+        walk_latencies=result.walk_latencies,
+        bandwidth_utilization=engine.dram.bandwidth_utilization(max(1, result.makespan)),
+        windowed_working_set=_windowed_working_set(
+            traces, total_index_blocks, working_set_window
+        ),
+        index_dram_accesses=index_dram,
+        baseline_index_accesses=baseline,
+    )

@@ -1,0 +1,30 @@
+"""Synthetic power-law graphs for the PageRank-push workload."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def powerlaw_edges(
+    num_vertices: int,
+    num_edges: int,
+    skew: float = 1.0,
+    seed: int = 0,
+) -> list[tuple[int, int]]:
+    """Directed edges with Zipfian in-degree (hub destinations).
+
+    Hubs give the index reuse PageRank-push exhibits: most pushes land on a
+    small set of popular destination vertices.
+    """
+    if num_vertices <= 1:
+        raise ValueError("need at least 2 vertices")
+    rng = np.random.default_rng(seed)
+    weights = 1.0 / np.power(np.arange(1, num_vertices + 1, dtype=np.float64), skew)
+    weights /= weights.sum()
+    dsts = rng.choice(num_vertices, size=num_edges, p=weights)
+    srcs = rng.integers(0, num_vertices, size=num_edges)
+    edges = []
+    for s, d in zip(srcs.tolist(), dsts.tolist()):
+        if s != d:
+            edges.append((s, d))
+    return edges

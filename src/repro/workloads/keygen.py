@@ -1,0 +1,85 @@
+"""Key-stream generators: uniform, Zipfian, and clustered/drifting.
+
+The reuse patterns METAL exploits come from skew (hot keys funneling walks
+through common roots) and clustering (queries dwelling in a sub-branch
+before drifting). These generators reproduce both knobs deterministically
+from a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def uniform_stream(universe: int, count: int, seed: int = 0) -> list[int]:
+    """``count`` keys drawn uniformly from [0, universe)."""
+    if universe <= 0:
+        raise ValueError("universe must be positive")
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, universe, size=count).tolist()
+
+
+def zipf_stream(
+    universe: int, count: int, skew: float = 0.8, seed: int = 0, shuffle_ranks: bool = True
+) -> list[int]:
+    """Zipfian keys: P(rank r) proportional to 1 / r^skew.
+
+    ``shuffle_ranks`` scatters hot ranks across the key space so hotness is
+    not correlated with key order (hot leaves spread over many branches).
+    """
+    if universe <= 0:
+        raise ValueError("universe must be positive")
+    if skew < 0:
+        raise ValueError("skew must be non-negative")
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, universe + 1, dtype=np.float64)
+    weights = 1.0 / np.power(ranks, skew)
+    weights /= weights.sum()
+    drawn = rng.choice(universe, size=count, p=weights)
+    if shuffle_ranks:
+        perm = rng.permutation(universe)
+        drawn = perm[drawn]
+    return drawn.tolist()
+
+
+def clustered_stream(
+    universe: int,
+    count: int,
+    num_clusters: int = 8,
+    cluster_width: int | None = None,
+    drift_every: int = 512,
+    seed: int = 0,
+) -> list[int]:
+    """Keys dwell near a cluster center, periodically drifting to another.
+
+    Models the R-tree behaviour of Section 4.3: "certain key clusters being
+    repetitively scanned" with the cluster moving over time — what the
+    Branch descriptor's moving-median pivot tracks.
+    """
+    if universe <= 0:
+        raise ValueError("universe must be positive")
+    if num_clusters <= 0:
+        raise ValueError("num_clusters must be positive")
+    rng = np.random.default_rng(seed)
+    width = cluster_width if cluster_width is not None else max(1, universe // (num_clusters * 4))
+    centers = rng.integers(width, max(width + 1, universe - width), size=num_clusters)
+    keys: list[int] = []
+    center = int(centers[0])
+    for i in range(count):
+        if drift_every and i and i % drift_every == 0:
+            center = int(centers[rng.integers(0, num_clusters)])
+        offset = int(rng.normal(0, width / 3))
+        keys.append(int(np.clip(center + offset, 0, universe - 1)))
+    return keys
+
+
+def range_queries(
+    universe: int,
+    count: int,
+    span: int,
+    skew: float = 0.8,
+    seed: int = 0,
+) -> list[tuple[int, int]]:
+    """[R1, R2] windows for SELECT ... BETWEEN queries, Zipf-placed."""
+    starts = zipf_stream(universe, count, skew=skew, seed=seed)
+    return [(s, min(universe - 1, s + span)) for s in starts]

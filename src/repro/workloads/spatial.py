@@ -1,0 +1,44 @@
+"""Synthetic spatial data: clustered quadrilaterals for the R-tree workload."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.indexes.rtree import Rect
+
+
+def clustered_rects(
+    count: int,
+    universe: int = 1 << 20,
+    num_clusters: int = 16,
+    cluster_spread: int | None = None,
+    max_extent: int = 64,
+    seed: int = 0,
+) -> list[Rect]:
+    """Quadrilaterals whose anchors cluster spatially.
+
+    Clustering makes nearby x queries correlate with nearby y keys, which
+    creates the sub-branch reuse the Branch descriptor targets (§4.3).
+    """
+    if count <= 0:
+        raise ValueError("count must be positive")
+    rng = np.random.default_rng(seed)
+    spread = cluster_spread if cluster_spread is not None else max(1, universe // (num_clusters * 8))
+    centers_x = rng.integers(0, universe, size=num_clusters)
+    centers_y = rng.integers(0, universe, size=num_clusters)
+    rects: list[Rect] = []
+    used_x: set[int] = set()
+    for i in range(count):
+        c = rng.integers(0, num_clusters)
+        x_lo = int(np.clip(centers_x[c] + rng.normal(0, spread), 0, universe - 2))
+        # Distinct x anchors keep the x-tree keyspace dense but unique.
+        while x_lo in used_x:
+            x_lo = (x_lo + 1) % (universe - 1)
+        used_x.add(x_lo)
+        y_lo = int(np.clip(centers_y[c] + rng.normal(0, spread), 0, universe - 2))
+        w = int(rng.integers(1, max_extent))
+        h = int(rng.integers(1, max_extent))
+        rects.append(
+            Rect(i, x_lo, min(universe - 1, x_lo + w), y_lo, min(universe - 1, y_lo + h))
+        )
+    return rects

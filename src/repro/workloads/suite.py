@@ -1,0 +1,477 @@
+"""The eight Table-2 applications as ready-to-simulate workloads.
+
+Each builder constructs the index substrate, the walk-request stream, and a
+*descriptor factory* (descriptors are stateful, so every memory-system run
+gets a fresh one). Default sizes are ~100x below the paper's (DESIGN.md);
+``scale`` multiplies record and walk counts.
+
+Table 2 mapping:
+
+=========  ========  ==========================  ===============
+Workload   DSA       Index                       Pattern
+=========  ========  ==========================  ===============
+scan       Gorgon    B+tree (table)              Level
+sets       Gorgon    hash of skip lists          Node
+sets_s     Gorgon    shallow hash (many buckets) Node
+spmm       Capstan   dynamic sparse tensor       Node (leaf+life)
+spmm_s     Capstan   shallow fibers              Node (leaf+life)
+select     Gorgon    B+tree (table)              Level
+where      Gorgon    B+tree (table)              Level
+join       Gorgon    two B+trees                 Level
+rtree      Aurochs   BTree-x + BTree-y           Level + Branch
+pagerank   Aurochs   adjacency list              Node + Branch
+=========  ========  ==========================  ===============
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.descriptors import (
+    BranchDescriptor,
+    CompositeDescriptor,
+    LevelDescriptor,
+    NodeDescriptor,
+    ReuseDescriptor,
+)
+from repro.dsa.aurochs import Aurochs, PAGERANK_CONFIG, RTREE_CONFIG
+from repro.dsa.capstan import Capstan, SPMM_CONFIG
+from repro.dsa.config import DSAConfig
+from repro.dsa.gorgon import ANALYTICS_CONFIG, Gorgon, SCAN_CONFIG, SETS_CONFIG
+from repro.indexes.adjacency import AdjacencyList
+from repro.indexes.base import count_blocks
+from repro.indexes.bplustree import BPlusTree
+from repro.indexes.fiber import FiberMatrix
+from repro.indexes.rtree import RTree2D
+from repro.indexes.sorted_set import SortedSet
+from repro.indexes.sparse_tensor import DynamicSparseTensor
+from repro.indexes.table import RecordTable
+from repro.sim.metrics import WalkRequest
+from repro.workloads.graphs import powerlaw_edges
+from repro.workloads.keygen import clustered_stream, range_queries, zipf_stream
+from repro.workloads.matrices import inner_product_rows, powerlaw_coo
+from repro.workloads.spatial import clustered_rects
+
+DescriptorFactory = Callable[[], "ReuseDescriptor | dict[int, ReuseDescriptor]"]
+
+
+@dataclass
+class Workload:
+    """One application ready for the simulator."""
+
+    name: str
+    dsa: str
+    pattern: str
+    config: DSAConfig
+    requests: list[WalkRequest]
+    indexes: list[Any]
+    descriptor_factory: DescriptorFactory
+    default_cache_bytes: int = 8 * 1024
+    #: Size of the raw key space (for IX-cache key-block sizing).
+    key_universe: int = 1 << 20
+    #: Key-block bits override for the IX-cache. Node-pattern workloads use
+    #: small blocks (Fig. 8's b=4 style) so neighbouring leaves spread
+    #: across sets; level-pattern workloads leave this None and size blocks
+    #: from the key universe so mid-level nodes stay set-resident.
+    ix_key_block_bits: int | None = None
+    notes: str = ""
+    _blocks: int | None = field(default=None, repr=False)
+
+    @property
+    def total_index_blocks(self) -> int:
+        if self._blocks is None:
+            total = 0
+            for index in self.indexes:
+                total += count_blocks(index.nodes())
+            self._blocks = total
+        return self._blocks
+
+    def faopt_pairs(self) -> list[tuple[Any, int]]:
+        """(index, key) sequence for the FA-OPT two-pass construction."""
+        return [(r.index, r.key) for r in self.requests]
+
+
+def _depth_fanout(num_keys: int, depth: int) -> int:
+    return BPlusTree.fanout_for_depth(num_keys, depth)
+
+
+def _make_table(num_records: int, depth: int, seed: int = 0) -> RecordTable:
+    fanout = _depth_fanout(num_records, depth)
+    records = (
+        {"id": k, "value": (k * 2654435761) % 1_000_003, "group": k % 97}
+        for k in range(num_records)
+    )
+    return RecordTable.from_records(("id", "value", "group"), "id", records, fanout=fanout)
+
+
+
+def _level_descriptor(height: int) -> LevelDescriptor:
+    """Wide frontier-growth band (see build_scan) used by Level workloads."""
+    return LevelDescriptor(
+        start=0, end=height - 1, min_level=0, max_level=height - 1, low_utility=0.5
+    )
+
+
+def _sweep_band(height: int) -> LevelDescriptor:
+    """Non-frontier band for bursty sweeps: reuse follows first touch."""
+    return LevelDescriptor(
+        start=0, end=height - 1, min_level=0, max_level=height - 1,
+        low_utility=0.5, min_touches=1, frontier=False,
+    )
+
+# --------------------------------------------------------------------- #
+# Scan (Gorgon, Level pattern)
+# --------------------------------------------------------------------- #
+
+def build_scan(scale: float = 1.0, seed: int = 0) -> Workload:
+    """Random-search point lookups over a deep B+tree (Table 2: Scan).
+
+    Table 2 uses a 10-level, 10M-key B+tree; we keep the 10-level depth at
+    ~100x fewer keys by shrinking the fan-out, and preserve the paper's
+    cache-pressure ratio with the (scaled) default cache size.
+    """
+    num_records = max(2_000, int(40_000 * scale))
+    num_walks = max(500, int(8_000 * scale))
+    table = _make_table(num_records, depth=10, seed=seed)
+    gorgon = Gorgon(SCAN_CONFIG)
+    keys = zipf_stream(num_records, num_walks, skew=0.8, seed=seed)
+    requests = gorgon.scan_requests(table, keys)
+    height = table.height
+
+    def descriptors() -> ReuseDescriptor:
+        # Wide band with frontier growth: walks extend the cached region
+        # one level below each IX-cache hit, so utility eviction shapes a
+        # popularity-weighted frontier (hot branches reach the leaves, cold
+        # branches keep mid-level reach).
+        return _level_descriptor(height)
+
+    return Workload(
+        "scan", "gorgon", "level", SCAN_CONFIG, requests, [table], descriptors,
+        default_cache_bytes=8 * 1024, key_universe=num_records,
+        notes=f"{num_records} records, depth {height}, zipf 0.8 point lookups",
+    )
+
+
+# --------------------------------------------------------------------- #
+# Sorted Sets (Gorgon, Node pattern) — deep and shallow variants
+# --------------------------------------------------------------------- #
+
+def build_sets(scale: float = 1.0, seed: int = 0, deep: bool = True) -> Workload:
+    """Redis-style sorted-set lookups (Table 2: Sets / Sets-S)."""
+    num_records = max(1_000, int(20_000 * scale))
+    num_walks = max(500, int(8_000 * scale))
+    score_space = 1 << 20
+    if deep:
+        num_buckets, max_height = 4, 14
+    else:
+        # "low associativity hash-table" — many buckets, short lists.
+        num_buckets, max_height = max(64, num_records // 8), 3
+    sset = SortedSet(
+        score_space, num_buckets=num_buckets, max_height=max_height, seed=seed
+    )
+    rng_scores = zipf_stream(score_space, num_records, skew=0.0, seed=seed + 1)
+    scores = sorted(set(rng_scores))
+    for i, score in enumerate(scores):
+        sset.add(f"member-{i}", score)
+    lookups = zipf_stream(len(scores), num_walks, skew=0.9, seed=seed + 2)
+    gorgon = Gorgon(SETS_CONFIG)
+    compute = gorgon.config.compute_cycles_per_walk
+    requests = [
+        WalkRequest(sset, scores[i], compute_cycles=compute) for i in lookups
+    ]
+    height = sset.height
+
+    def descriptors() -> ReuseDescriptor:
+        # The node pattern over skip segments: utility selection inside a
+        # first-touch band realizes "cache the skip node located closest
+        # to the median point" — hot segments accumulate utility and stay.
+        # (A hard node-level target underperforms at reduced scale; see
+        # EXPERIMENTS.md.)
+        return _sweep_band(height)
+
+    name = "sets" if deep else "sets_s"
+    return Workload(
+        name, "gorgon", "node", SETS_CONFIG, requests, [sset], descriptors,
+        key_universe=score_space,
+        notes=f"{len(scores)} records, {num_buckets} buckets, height {height}",
+    )
+
+
+# --------------------------------------------------------------------- #
+# SpMM (Capstan, Node pattern) — deep tensors and shallow fibers
+# --------------------------------------------------------------------- #
+
+def build_spmm(scale: float = 1.0, seed: int = 0, deep: bool = True) -> Workload:
+    """Inner-product SpMM over B's coordinate index (Table 2: SpMM)."""
+    dim = max(512, int(8_192 * scale))
+    nnz = max(4_000, int(60_000 * scale))
+    num_a_rows = max(150, int(2_000 * scale))
+    triples = powerlaw_coo((dim, dim), nnz, col_skew=0.9, seed=seed)
+    b: DynamicSparseTensor | FiberMatrix
+    if deep:
+        fanout = _depth_fanout(dim, 8)
+        b = DynamicSparseTensor.from_coo((dim, dim), triples, fanout=fanout)
+    else:
+        b = FiberMatrix((dim, dim), triples)
+    a_rows = inner_product_rows(num_a_rows, 12, dim, bandwidth=96, col_skew=0.9, seed=seed + 1)
+    capstan = Capstan(SPMM_CONFIG)
+    requests = capstan.spmm_requests(a_rows, b)
+
+    height = b.height
+
+    def descriptors() -> ReuseDescriptor:
+        # Node pattern pins leaves for the burst of accesses their columns
+        # receive ("life is set to the number of non-zeros in each
+        # column", capped to the per-walk burst), over a sweep band that
+        # keeps mid nodes for the band's cold edge.
+        return CompositeDescriptor(
+            [NodeDescriptor(target="leaf", life=2), _sweep_band(height)]
+        )
+
+    name = "spmm" if deep else "spmm_s"
+    return Workload(
+        name, "capstan", "node", SPMM_CONFIG, requests, [b], descriptors,
+        key_universe=dim,
+        ix_key_block_bits=4,
+        notes=f"B {dim}x{dim}, nnz {b.nnz}, height {b.height}",
+    )
+
+
+# --------------------------------------------------------------------- #
+# Analytics: Nest.SEL / WHERE / JOIN (Gorgon, Level pattern)
+# --------------------------------------------------------------------- #
+
+def build_analytics_select(scale: float = 1.0, seed: int = 0) -> Workload:
+    """Nested SELECT BETWEEN range queries (Fig. 18: Nest.SEL)."""
+    num_records = max(1_000, int(40_000 * scale))
+    num_queries = max(200, int(2_500 * scale))
+    table = _make_table(num_records, depth=8, seed=seed)
+    gorgon = Gorgon(ANALYTICS_CONFIG)
+    ranges = range_queries(num_records, num_queries, span=16, skew=0.8, seed=seed)
+    requests = gorgon.select_requests(table, ranges)
+    height = table.height
+
+    def descriptors() -> ReuseDescriptor:
+        return _level_descriptor(height)
+
+    return Workload(
+        "select", "gorgon", "level", ANALYTICS_CONFIG, requests, [table], descriptors,
+        key_universe=num_records,
+        notes=f"{num_records} records, {num_queries} BETWEEN queries of span 16",
+    )
+
+
+def build_analytics_where(scale: float = 1.0, seed: int = 0) -> Workload:
+    """Data-dependent WHERE-clause probes (Fig. 18: WHERE)."""
+    num_records = max(1_000, int(40_000 * scale))
+    num_walks = max(500, int(6_000 * scale))
+    table = _make_table(num_records, depth=8, seed=seed)
+    gorgon = Gorgon(ANALYTICS_CONFIG)
+    # Nested clause: the probed key is derived from the previous record's
+    # value column (data-dependent chain, zipf-seeded).
+    seeds = zipf_stream(num_records, num_walks, skew=0.7, seed=seed)
+    keys = []
+    key = seeds[0]
+    for s in seeds:
+        record = table.get(key)
+        key = (record["value"] + s) % num_records if record else s
+        keys.append(key)
+    requests = gorgon.scan_requests(table, keys)
+    height = table.height
+
+    def descriptors() -> ReuseDescriptor:
+        return _level_descriptor(height)
+
+    return Workload(
+        "where", "gorgon", "level", ANALYTICS_CONFIG, requests, [table], descriptors,
+        key_universe=num_records,
+        notes=f"{num_records} records, {num_walks} data-dependent probes",
+    )
+
+
+def build_analytics_join(
+    scale: float = 1.0, seed: int = 0, depth: int = 8
+) -> Workload:
+    """Index nested-loop JOIN over two B+trees (Fig. 18: JOIN).
+
+    ``depth`` controls the inner tree's level count (Fig. 23b sweeps it
+    10-18 in the paper; deeper means a smaller fan-out here).
+    """
+    inner_records = max(1_000, int(40_000 * scale))
+    outer_records = max(400, int(6_000 * scale))
+    inner = _make_table(inner_records, depth=depth, seed=seed)
+    fk_stream = zipf_stream(inner_records, outer_records, skew=0.85, seed=seed + 1)
+    outer = RecordTable.from_records(
+        ("id", "fk"),
+        "id",
+        ({"id": i, "fk": fk} for i, fk in enumerate(fk_stream)),
+        fanout=_depth_fanout(outer_records, 6),
+    )
+    gorgon = Gorgon(ANALYTICS_CONFIG)
+    compute = gorgon.config.compute_cycles_per_walk
+    # The join touches both trees: walk the outer index for the record,
+    # then probe the inner index with the foreign key.
+    requests: list[WalkRequest] = []
+    for record in outer.scan():
+        requests.append(WalkRequest(outer, record["id"], compute_cycles=compute))
+        requests.append(
+            WalkRequest(
+                inner,
+                record["fk"],
+                compute_cycles=compute,
+                data_address=inner.record_address(record["fk"]),
+                data_bytes=inner.record_bytes,
+            )
+        )
+    inner_height, outer_height = inner.height, outer.height
+
+    def descriptors() -> dict[int, ReuseDescriptor]:
+        return {
+            inner.index_id: _level_descriptor(inner_height),
+            outer.index_id: _level_descriptor(outer_height),
+        }
+
+    return Workload(
+        "join", "gorgon", "level", ANALYTICS_CONFIG, requests, [inner, outer],
+        descriptors, key_universe=inner_records,
+        notes=f"outer {outer_records} x inner {inner_records}, zipf 0.85 FKs",
+    )
+
+
+# --------------------------------------------------------------------- #
+# R-tree spatial analysis (Aurochs, Level + Branch)
+# --------------------------------------------------------------------- #
+
+def build_rtree(scale: float = 1.0, seed: int = 0) -> Workload:
+    """Quadrilateral embedding over paired x/y B-trees (§4.3)."""
+    num_rects = max(1_000, int(20_000 * scale))
+    num_queries = max(200, int(2_000 * scale))
+    universe = 1 << 20
+    rects = clustered_rects(num_rects, universe=universe, seed=seed)
+    rtree = RTree2D(
+        rects,
+        x_fanout=_depth_fanout(num_rects, 8),
+        y_fanout=_depth_fanout(num_rects, 6),
+    )
+    xs = sorted({r.x_lo for r in rects})
+    query_idx = clustered_stream(len(xs), num_queries, num_clusters=6, seed=seed + 1)
+    x_queries = [xs[i] for i in query_idx]
+    aurochs = Aurochs(RTREE_CONFIG)
+    requests = aurochs.rtree_requests(rtree, x_queries, y_per_x=4)
+    xh, yh = rtree.x_tree.height, rtree.y_tree.height
+
+    def descriptors() -> dict[int, ReuseDescriptor]:
+        return {
+            rtree.x_tree.index_id: _level_descriptor(xh),
+            rtree.y_tree.index_id: CompositeDescriptor(
+                [
+                    BranchDescriptor(depth=yh - 1, window=256),
+                    _level_descriptor(yh),
+                ]
+            ),
+        }
+
+    return Workload(
+        "rtree", "aurochs", "level+branch", RTREE_CONFIG, requests,
+        [rtree.x_tree, rtree.y_tree], descriptors, key_universe=universe,
+        ix_key_block_bits=8,
+        notes=f"{num_rects} rects, x-tree depth {xh}, y-tree depth {yh}",
+    )
+
+
+# --------------------------------------------------------------------- #
+# PageRank-push (Aurochs, Node + Branch)
+# --------------------------------------------------------------------- #
+
+def build_pagerank(scale: float = 1.0, seed: int = 0) -> Workload:
+    """Push-style PageRank: walks to the destination vertex per edge."""
+    num_vertices = max(1_000, int(20_000 * scale))
+    num_edges = max(3_000, int(50_000 * scale))
+    num_pushes = max(500, int(10_000 * scale))
+    edges = powerlaw_edges(num_vertices, num_edges, skew=0.9, seed=seed)
+    graph = AdjacencyList(
+        edges, num_vertices=num_vertices, fanout=_depth_fanout(num_vertices, 8)
+    )
+    aurochs = Aurochs(PAGERANK_CONFIG)
+    compute = aurochs.config.compute_cycles_per_walk
+    # Pushes land on edge destinations (zipf-hub heavy); each push walks
+    # the vertex directory for the destination's record.
+    dsts = [d for _, d in edges]
+    rng = zipf_stream(len(dsts), num_pushes, skew=0.0, seed=seed + 1)
+    requests = []
+    for i in rng:
+        v = dsts[i]
+        record = graph.record(v)
+        requests.append(
+            WalkRequest(
+                graph,
+                v,
+                compute_cycles=compute,
+                data_address=record.address if record else None,
+            )
+        )
+    height = graph.height
+
+    def descriptors() -> ReuseDescriptor:
+        # Hub leaves (Node) plus a sweep band; the Branch member tracks the
+        # hub cluster around the moving key median.
+        return CompositeDescriptor(
+            [
+                NodeDescriptor(target="leaf", life=1),
+                BranchDescriptor(depth=height - 1, window=512),
+                _sweep_band(height),
+            ],
+            mode="any",
+        )
+
+    return Workload(
+        "pagerank", "aurochs", "node+branch", PAGERANK_CONFIG, requests, [graph],
+        descriptors, key_universe=num_vertices,
+        ix_key_block_bits=4,
+        notes=f"{num_vertices} vertices, {len(edges)} edges, {num_pushes} pushes",
+    )
+
+
+# --------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------- #
+
+WORKLOAD_BUILDERS: dict[str, Callable[..., Workload]] = {
+    "scan": build_scan,
+    "sets": lambda scale=1.0, seed=0: build_sets(scale, seed, deep=True),
+    "sets_s": lambda scale=1.0, seed=0: build_sets(scale, seed, deep=False),
+    "spmm": lambda scale=1.0, seed=0: build_spmm(scale, seed, deep=True),
+    "spmm_s": lambda scale=1.0, seed=0: build_spmm(scale, seed, deep=False),
+    "select": build_analytics_select,
+    "where": build_analytics_where,
+    "join": build_analytics_join,
+    "rtree": build_rtree,
+    "pagerank": build_pagerank,
+}
+
+#: Fig. 18's x-axis labels for each workload key.
+PAPER_LABELS = {
+    "scan": "Scan",
+    "sets": "Sets",
+    "sets_s": "Sets-S",
+    "spmm": "SpMM",
+    "spmm_s": "SpMM-S",
+    "select": "Nest.SEL",
+    "where": "WHERE",
+    "join": "JOIN",
+    "rtree": "RTree",
+    "pagerank": "PageRank",
+}
+
+
+def build_workload(name: str, scale: float = 1.0, seed: int = 0) -> Workload:
+    """Build a Table-2 workload by its registry name."""
+    try:
+        builder = WORKLOAD_BUILDERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; choose from {sorted(WORKLOAD_BUILDERS)}"
+        ) from None
+    return builder(scale=scale, seed=seed)

@@ -1,0 +1,106 @@
+"""Walk-trace import/export (JSON lines).
+
+Lets users capture a workload's request stream once and replay it against
+different memory systems or geometries — or bring their own traces from a
+real application. Index objects can't serialize, so requests are stored
+against *index names* and re-bound at load time.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.sim.metrics import WalkRequest
+
+FORMAT_VERSION = 1
+
+
+def save_trace(
+    path: str | Path,
+    requests: list[WalkRequest],
+    index_names: dict[int, str],
+) -> int:
+    """Write requests as JSONL; returns the number of records written.
+
+    ``index_names`` maps ``id(index_object)`` to a stable name. Every
+    request's index must be named.
+    """
+    path = Path(path)
+    count = 0
+    with path.open("w") as f:
+        header = {"version": FORMAT_VERSION, "kind": "repro-walk-trace"}
+        f.write(json.dumps(header) + "\n")
+        for request in requests:
+            name = index_names.get(id(request.index))
+            if name is None:
+                raise KeyError(
+                    f"no name registered for index {request.index!r}; "
+                    "add it to index_names"
+                )
+            record = {
+                "index": name,
+                "key": request.key,
+                "compute": request.compute_cycles,
+                "data_address": request.data_address,
+                "data_bytes": request.data_bytes,
+                "scan_hi": request.scan_hi,
+            }
+            f.write(json.dumps(record) + "\n")
+            count += 1
+    return count
+
+
+def load_trace(
+    path: str | Path,
+    indexes: dict[str, Any],
+) -> list[WalkRequest]:
+    """Read a JSONL trace, re-binding index names to live objects."""
+    path = Path(path)
+    requests: list[WalkRequest] = []
+    with path.open() as f:
+        header = json.loads(f.readline())
+        if header.get("kind") != "repro-walk-trace":
+            raise ValueError(f"{path} is not a repro walk trace")
+        if header.get("version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace version {header.get('version')!r}"
+            )
+        for line_no, line in enumerate(f, start=2):
+            if not line.strip():
+                continue
+            record = json.loads(line)
+            name = record["index"]
+            index = indexes.get(name)
+            if index is None:
+                raise KeyError(
+                    f"{path}:{line_no}: trace references unknown index "
+                    f"{name!r}; provide it in `indexes`"
+                )
+            requests.append(
+                WalkRequest(
+                    index=index,
+                    key=record["key"],
+                    compute_cycles=record.get("compute", 0),
+                    data_address=record.get("data_address"),
+                    data_bytes=record.get("data_bytes", 64),
+                    scan_hi=record.get("scan_hi"),
+                )
+            )
+    return requests
+
+
+def workload_index_names(workload: Any) -> dict[int, str]:
+    """Default naming for a suite workload's indexes (index0, index1...).
+
+    Requests may reference sub-indexes of composite structures (the
+    R-tree's x/y trees), so walk the request stream too.
+    """
+    names: dict[int, str] = {}
+    for i, index in enumerate(workload.indexes):
+        names[id(index)] = f"index{i}"
+    for request in workload.requests:
+        if id(request.index) not in names:
+            names[id(request.index)] = f"index{len(names)}"
+    return names

@@ -1,0 +1,87 @@
+"""Tests for the set-associative LRU address cache."""
+
+from repro.mem.address_cache import AddressCache
+from repro.params import BLOCK_SIZE, CacheParams
+
+
+def small_cache(entries=8, ways=2) -> AddressCache:
+    return AddressCache(CacheParams(capacity_bytes=entries * BLOCK_SIZE, ways=ways))
+
+
+class TestLookupInsert:
+    def test_miss_then_hit(self):
+        cache = small_cache()
+        assert not cache.lookup(0)
+        cache.insert(0)
+        assert cache.lookup(0)
+
+    def test_same_block_aliases(self):
+        cache = small_cache()
+        cache.insert(0)
+        assert cache.lookup(BLOCK_SIZE - 1)  # same 64B block
+
+    def test_different_blocks_distinct(self):
+        cache = small_cache()
+        cache.insert(0)
+        assert not cache.lookup(BLOCK_SIZE)
+
+    def test_len_counts_blocks(self):
+        cache = small_cache()
+        cache.insert(0)
+        cache.insert(BLOCK_SIZE)
+        cache.insert(0)  # duplicate
+        assert len(cache) == 2
+
+
+class TestLRU:
+    def test_evicts_least_recent(self):
+        cache = small_cache(entries=4, ways=2)  # 2 sets x 2 ways
+        sets = cache.params.sets
+        # Fill one set with two blocks, then add a third: first goes.
+        a, b, c = 0, sets * BLOCK_SIZE, 2 * sets * BLOCK_SIZE
+        cache.insert(a)
+        cache.insert(b)
+        cache.insert(c)
+        assert not cache.contains(a)
+        assert cache.contains(b)
+        assert cache.contains(c)
+
+    def test_lookup_refreshes_recency(self):
+        cache = small_cache(entries=4, ways=2)
+        sets = cache.params.sets
+        a, b, c = 0, sets * BLOCK_SIZE, 2 * sets * BLOCK_SIZE
+        cache.insert(a)
+        cache.insert(b)
+        cache.lookup(a)  # refresh a
+        cache.insert(c)  # evicts b now
+        assert cache.contains(a)
+        assert not cache.contains(b)
+
+    def test_eviction_counted(self):
+        cache = small_cache(entries=2, ways=1)
+        sets = cache.params.sets
+        cache.insert(0)
+        cache.insert(sets * BLOCK_SIZE)
+        assert cache.stats.evictions == 1
+
+
+class TestStats:
+    def test_miss_rate(self):
+        cache = small_cache()
+        cache.lookup(0)
+        cache.insert(0)
+        cache.lookup(0)
+        assert cache.stats.accesses == 2
+        assert cache.stats.hits == 1
+        assert abs(cache.stats.miss_rate - 0.5) < 1e-12
+
+    def test_access_multi_block_object(self):
+        cache = small_cache(entries=8, ways=8)
+        hit = cache.access(0, nbytes=BLOCK_SIZE * 3)
+        assert not hit
+        assert cache.access(0, nbytes=BLOCK_SIZE * 3)  # now resident
+
+    def test_contains_does_not_count(self):
+        cache = small_cache()
+        cache.contains(0)
+        assert cache.stats.accesses == 0

@@ -1,0 +1,129 @@
+"""Tests for the declarative dataflow front-end and lowering."""
+
+import pytest
+
+from repro.core.descriptors import CompositeDescriptor, LevelDescriptor
+from repro.dsa.compiler import DataflowProgram, LoweredProgram, lower
+from repro.dsa.gorgon import ANALYTICS_CONFIG, SCAN_CONFIG
+from repro.dsa.capstan import SPMM_CONFIG
+from repro.indexes.sparse_tensor import DynamicSparseTensor
+from repro.indexes.table import RecordTable
+from repro.params import BLOCK_SIZE, CacheParams
+from repro.sim.memsys import make_memsys
+from repro.sim.metrics import simulate
+
+
+def table(n=500):
+    return RecordTable.from_records(
+        ("id", "fk"), "id",
+        ({"id": k, "fk": (k * 13) % n} for k in range(n)),
+        fanout=3,
+    )
+
+
+class TestProgramBuilding:
+    def test_lookup_operator(self):
+        prog = DataflowProgram(SCAN_CONFIG)
+        op = prog.lookup(table(), [1, 2, 3])
+        assert op.kind == "lookup"
+        assert len(prog.operators) == 1
+
+    def test_unknown_kind_rejected(self):
+        prog = DataflowProgram(SCAN_CONFIG)
+        with pytest.raises(ValueError):
+            prog._add("shuffle", table())
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ValueError):
+            lower(DataflowProgram(SCAN_CONFIG))
+
+
+class TestLowering:
+    def test_lookup_requests(self):
+        prog = DataflowProgram(SCAN_CONFIG)
+        t = table()
+        prog.lookup(t, [5, 6, 7])
+        lowered = lower(prog)
+        assert [r.key for r in lowered.requests] == [5, 6, 7]
+        assert all(r.index is t for r in lowered.requests)
+
+    def test_select_requests_carry_scan_hi(self):
+        prog = DataflowProgram(ANALYTICS_CONFIG)
+        prog.select(table(), [(10, 30)])
+        lowered = lower(prog)
+        assert lowered.requests[0].scan_hi == 30
+
+    def test_join_touches_both_tables(self):
+        prog = DataflowProgram(ANALYTICS_CONFIG)
+        outer, inner = table(50), table(200)
+        prog.join(outer, inner, "fk")
+        lowered = lower(prog)
+        indexes_touched = {id(r.index) for r in lowered.requests}
+        assert indexes_touched == {id(outer), id(inner)}
+        assert len(lowered.requests) == 100  # outer walk + inner probe each
+
+    def test_spmm_requests(self):
+        b = DynamicSparseTensor.from_coo(
+            (20, 20), [(r, c, 1.0) for r in range(4) for c in range(4)]
+        )
+        prog = DataflowProgram(SPMM_CONFIG)
+        prog.spmm(b, [[(0, 1.0), (2, 1.0)]])
+        lowered = lower(prog)
+        assert sorted(r.key for r in lowered.requests) == [0, 2]
+
+    def test_descriptor_pattern_mapping(self):
+        prog = DataflowProgram(SCAN_CONFIG)
+        t = table()
+        prog.lookup(t, [1])
+        lowered = lower(prog)
+        assert isinstance(lowered.descriptors[t.index_id], LevelDescriptor)
+
+    def test_spmm_gets_composite(self):
+        b = DynamicSparseTensor.from_coo((20, 20), [(0, 0, 1.0)])
+        prog = DataflowProgram(SPMM_CONFIG)
+        prog.spmm(b, [[(0, 1.0)]])
+        lowered = lower(prog)
+        assert isinstance(lowered.descriptors[b.index_id], CompositeDescriptor)
+
+    def test_shared_index_merges_descriptors(self):
+        prog = DataflowProgram(SCAN_CONFIG)
+        t = table()
+        prog.lookup(t, [1])
+        prog.where(t, [2])
+        lowered = lower(prog)
+        merged = lowered.descriptors[t.index_id]
+        assert isinstance(merged, CompositeDescriptor)
+        assert len(merged.members) == 2
+
+    def test_placement_round_robin(self):
+        prog = DataflowProgram(SCAN_CONFIG)
+        t = table()
+        for _ in range(5):
+            prog.lookup(t, [1])
+        lowered = lower(prog)
+        tiles = list(lowered.placement.values())
+        assert tiles == [i % SCAN_CONFIG.tiles for i in range(5)]
+
+
+class TestEndToEnd:
+    def test_lowered_program_simulates_with_metal(self):
+        prog = DataflowProgram(ANALYTICS_CONFIG)
+        outer, inner = table(80), table(400)
+        prog.join(outer, inner, "fk")
+        prog.lookup(inner, [3, 5, 7])
+        lowered = lower(prog)
+        ms = make_memsys(
+            "metal",
+            cache_params=CacheParams(capacity_bytes=64 * BLOCK_SIZE),
+            descriptors=lowered.descriptors,
+        )
+        run = simulate(ms, lowered.requests, ms.sim)
+        assert run.num_walks == len(lowered.requests)
+        assert run.short_circuited > 0
+
+    def test_pattern_summary(self):
+        prog = DataflowProgram(SCAN_CONFIG)
+        t = table()
+        prog.lookup(t, [1])
+        lowered = lower(prog)
+        assert lowered.pattern_summary[t.index_id] == "LevelDescriptor"

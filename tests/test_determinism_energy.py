@@ -1,0 +1,91 @@
+"""Determinism and conservation invariants across the simulator."""
+
+import pytest
+
+from repro.bench.runner import build_memsys, run_workload
+from repro.params import DRAMParams
+from repro.sim.metrics import simulate
+from repro.workloads.suite import build_workload
+
+SCALE = 0.05
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("kind", ["stream", "address", "xcache", "metal_ix", "metal"])
+    def test_identical_reruns(self, kind):
+        """Same workload + system twice -> bit-identical metrics."""
+        runs = []
+        for _ in range(2):
+            workload = build_workload("scan", scale=SCALE, seed=4)
+            runs.append(run_workload(workload, kind))
+        a, b = runs
+        assert a.makespan == b.makespan
+        assert a.dram.accesses == b.dram.accesses
+        assert a.dram.energy_fj == b.dram.energy_fj
+        assert a.index_dram_accesses == b.index_dram_accesses
+        if a.cache_stats:
+            assert a.cache_stats.hits == b.cache_stats.hits
+
+    def test_different_seeds_differ(self):
+        a = run_workload(build_workload("scan", scale=SCALE, seed=1), "metal")
+        b = run_workload(build_workload("scan", scale=SCALE, seed=2), "metal")
+        assert a.makespan != b.makespan
+
+
+class TestEnergyAccounting:
+    def test_dram_energy_decomposes(self):
+        """energy = row_hits * e_hit + row_misses * e_miss, exactly."""
+        workload = build_workload("scan", scale=SCALE)
+        memsys = build_memsys("stream", workload)
+        run = simulate(memsys, workload.requests, memsys.sim,
+                       workload.total_index_blocks)
+        p = DRAMParams()
+        expected = run.dram.row_hits * p.e_row_hit + run.dram.row_misses * p.e_access
+        assert run.dram.energy_fj == pytest.approx(expected)
+
+    def test_bytes_match_accesses(self):
+        workload = build_workload("scan", scale=SCALE)
+        memsys = build_memsys("stream", workload)
+        run = simulate(memsys, workload.requests, memsys.sim,
+                       workload.total_index_blocks)
+        assert run.dram.bytes_moved == run.dram.accesses * 64
+
+    def test_row_events_partition_accesses(self):
+        workload = build_workload("join", scale=SCALE)
+        memsys = build_memsys("metal", workload)
+        run = simulate(memsys, workload.requests, memsys.sim,
+                       workload.total_index_blocks)
+        assert run.dram.row_hits + run.dram.row_misses == run.dram.accesses
+
+
+class TestCacheAccounting:
+    @pytest.mark.parametrize("kind", ["address", "xcache", "metal_ix", "metal"])
+    def test_hits_plus_misses(self, kind):
+        workload = build_workload("scan", scale=SCALE)
+        run = run_workload(workload, kind)
+        stats = run.cache_stats
+        assert stats.hits + stats.misses == stats.accesses
+
+    def test_short_circuits_bounded_by_hits(self):
+        workload = build_workload("scan", scale=SCALE)
+        run = run_workload(workload, "metal_ix")
+        assert run.short_circuited <= run.cache_stats.hits
+        assert run.full_hits <= run.short_circuited
+
+
+class TestWalkAccounting:
+    @pytest.mark.parametrize("kind", ["stream", "metal", "xcache"])
+    def test_index_traffic_at_most_baseline(self, kind):
+        workload = build_workload("scan", scale=SCALE)
+        run = run_workload(workload, kind)
+        assert run.index_dram_accesses <= run.baseline_index_accesses
+
+    def test_walk_cycles_bound_makespan(self):
+        workload = build_workload("scan", scale=SCALE)
+        run = run_workload(workload, "metal")
+        # With C contexts, the serialized walk cycles can exceed the
+        # makespan by at most the context count (perfect overlap).
+        contexts = workload.config.sim_params().tiles * \
+            workload.config.sim_params().tile.walker_contexts
+        assert run.makespan <= run.total_walk_cycles + 1
+        assert run.total_walk_cycles <= run.makespan * contexts

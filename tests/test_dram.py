@@ -1,0 +1,101 @@
+"""Tests for the banked DRAM model."""
+
+from repro.mem.dram import DRAM
+from repro.params import BLOCK_SIZE, DRAMParams
+
+
+def make_dram(**kw) -> DRAM:
+    return DRAM(DRAMParams(**kw))
+
+
+class TestTiming:
+    def test_first_access_pays_row_miss(self):
+        dram = make_dram()
+        done = dram.access(0, 0)
+        assert done == dram.params.t_access
+
+    def test_row_hit_is_faster(self):
+        dram = make_dram()
+        t1 = dram.access(0, 0)
+        t2 = dram.access(BLOCK_SIZE * dram.params.banks, t1)  # same bank, same row
+        assert t2 - t1 <= dram.params.t_row_hit + dram.params.t_occupancy
+
+    def test_bank_occupancy_serializes(self):
+        dram = make_dram(banks=1)
+        first = dram.access(0, 0)
+        # Second access to the same bank issued at time 0 must wait.
+        second = dram.access(1 << 20, 0)
+        assert second > first or second >= dram.params.t_occupancy
+
+    def test_different_banks_overlap(self):
+        dram = make_dram()
+        a = dram.access(0, 0)
+        b = dram.access(BLOCK_SIZE, 0)  # next block = next bank
+        # Both start at 0; neither is delayed by the other's occupancy.
+        assert b <= a + dram.params.t_access
+
+    def test_bank_of_interleaves_blocks(self):
+        dram = make_dram(banks=4)
+        banks = [dram.bank_of(i * BLOCK_SIZE) for i in range(8)]
+        assert banks == [0, 1, 2, 3, 0, 1, 2, 3]
+
+
+class TestStats:
+    def test_reads_and_writes_counted(self):
+        dram = make_dram()
+        dram.access(0, 0)
+        dram.access(64, 0, write=True)
+        assert dram.stats.reads == 1
+        assert dram.stats.writes == 1
+
+    def test_energy_accumulates(self):
+        dram = make_dram()
+        dram.access(0, 0)
+        e1 = dram.stats.energy_fj
+        dram.access(1 << 20, 0)
+        assert dram.stats.energy_fj > e1 > 0
+
+    def test_row_hit_energy_lower(self):
+        dram = make_dram()
+        dram.access(0, 0)
+        miss_energy = dram.stats.energy_fj
+        dram.access(0, 1000)  # same row: hit
+        hit_energy = dram.stats.energy_fj - miss_energy
+        assert hit_energy < miss_energy
+
+    def test_touched_blocks_distinct(self):
+        dram = make_dram()
+        dram.access(0, 0)
+        dram.access(0, 10)
+        dram.access(BLOCK_SIZE, 20)
+        assert len(dram.stats.touched_blocks) == 2
+
+    def test_multi_block_access_touches_span(self):
+        dram = make_dram()
+        dram.access(0, 0, nbytes=BLOCK_SIZE * 3)
+        assert len(dram.stats.touched_blocks) == 3
+
+    def test_bytes_moved(self):
+        dram = make_dram()
+        dram.access(0, 0)
+        assert dram.stats.bytes_moved == BLOCK_SIZE
+
+
+class TestBandwidth:
+    def test_utilization_fraction(self):
+        dram = make_dram()
+        dram.access(0, 0)
+        util = dram.bandwidth_utilization(100)
+        expected = BLOCK_SIZE / (dram.params.peak_bytes_per_cycle * 100)
+        assert abs(util - expected) < 1e-12
+
+    def test_zero_cycles(self):
+        dram = make_dram()
+        assert dram.bandwidth_utilization(0) == 0.0
+
+    def test_reset_timing_keeps_stats(self):
+        dram = make_dram()
+        dram.access(0, 0)
+        dram.reset_timing()
+        assert dram.stats.reads == 1
+        assert dram.access(0, 0) == dram.params.t_access  # row closed again

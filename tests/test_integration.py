@@ -1,0 +1,119 @@
+"""End-to-end integration tests: the paper's qualitative claims must hold.
+
+These run tiny versions of the real experiments and assert the *shape* of
+Section 5's results: ordering between organizations, short-circuiting
+behaviour, and working-set reduction.
+"""
+
+import pytest
+
+from repro.bench.runner import SYSTEMS, compare_systems, run_workload
+from repro.workloads.suite import build_workload
+
+
+SCALE = 0.15
+
+
+@pytest.fixture(scope="module")
+def scan_results():
+    return compare_systems(build_workload("scan", scale=SCALE))
+
+
+@pytest.fixture(scope="module")
+def spmm_results():
+    return compare_systems(build_workload("spmm", scale=SCALE))
+
+
+class TestScanShape:
+    def test_all_systems_ran(self, scan_results):
+        assert set(scan_results) == set(SYSTEMS)
+        assert all(r.num_walks > 0 for r in scan_results.values())
+
+    def test_every_cache_beats_streaming(self, scan_results):
+        stream = scan_results["stream"].makespan
+        for kind in ("address", "fa_opt", "metal_ix", "metal"):
+            assert scan_results[kind].makespan < stream
+
+    def test_metal_beats_address_cache(self, scan_results):
+        assert scan_results["metal"].makespan < scan_results["address"].makespan
+
+    def test_metal_beats_xcache(self, scan_results):
+        assert scan_results["metal"].makespan < scan_results["xcache"].makespan
+
+    def test_xcache_high_miss_rate(self, scan_results):
+        # Observation 3: leaves have minimal reuse in deep indexes.
+        assert scan_results["xcache"].miss_rate > 0.6
+
+    def test_working_set_ordering(self, scan_results):
+        # Fig. 16: METAL < address < X-cache < stream.
+        ws = {k: r.working_set_fraction for k, r in scan_results.items()}
+        assert ws["metal"] < ws["xcache"]
+        assert ws["address"] < ws["stream"] == pytest.approx(1.0)
+
+    def test_metal_short_circuits(self, scan_results):
+        metal = scan_results["metal"]
+        assert metal.short_circuited > metal.num_walks * 0.5
+
+    def test_fa_opt_low_miss_but_not_fastest(self, scan_results):
+        # Observation 2: miss rates can be misleading.
+        assert scan_results["fa_opt"].miss_rate < scan_results["xcache"].miss_rate
+
+
+class TestSpMMShape:
+    def test_metal_large_speedup_vs_stream(self, spmm_results):
+        speedup = spmm_results["stream"].makespan / spmm_results["metal"].makespan
+        assert speedup > 2.0
+
+    def test_metal_beats_xcache(self, spmm_results):
+        assert spmm_results["metal"].makespan < spmm_results["xcache"].makespan
+
+    def test_dram_energy_reduced(self, spmm_results):
+        assert (
+            spmm_results["metal"].dram_energy_fj
+            < spmm_results["stream"].dram_energy_fj
+        )
+
+
+class TestShallowVariants:
+    def test_shallow_gains_are_modest(self):
+        """Fig. 18: '-S' variants show much smaller METAL advantage."""
+        deep = compare_systems(
+            build_workload("sets", scale=SCALE), kinds=("stream", "metal")
+        )
+        shallow = compare_systems(
+            build_workload("sets_s", scale=SCALE), kinds=("stream", "metal")
+        )
+        deep_gain = deep["stream"].makespan / deep["metal"].makespan
+        shallow_gain = shallow["stream"].makespan / shallow["metal"].makespan
+        assert deep_gain > shallow_gain
+
+
+class TestPatternsVsHardwired:
+    def test_metal_at_least_matches_metal_ix_on_level_workloads(self):
+        wl = build_workload("join", scale=SCALE)
+        metal = run_workload(wl, "metal")
+        metal_ix = run_workload(wl, "metal_ix")
+        assert metal.makespan <= metal_ix.makespan * 1.05
+
+
+class TestCacheSizeScaling:
+    def test_larger_cache_not_slower(self):
+        wl = build_workload("scan", scale=SCALE)
+        small = run_workload(wl, "metal", cache_bytes=2 * 1024)
+        large = run_workload(wl, "metal", cache_bytes=32 * 1024)
+        assert large.makespan <= small.makespan * 1.1
+
+    def test_observation6_small_ix_close_to_big_address(self):
+        """Observation 6: METAL shrinks the cache size requirement."""
+        wl = build_workload("scan", scale=SCALE)
+        small_metal = run_workload(wl, "metal", cache_bytes=4 * 1024)
+        big_address = run_workload(wl, "address", cache_bytes=32 * 1024)
+        assert small_metal.makespan < big_address.makespan * 1.6
+
+
+class TestMultiIndexSharing:
+    def test_join_touches_both_trees(self):
+        wl = build_workload("join", scale=SCALE)
+        assert len(wl.indexes) == 2
+        run = run_workload(wl, "metal")
+        assert run.short_circuited > 0

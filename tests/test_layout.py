@@ -1,0 +1,80 @@
+"""Tests for the DRAM layout and allocator."""
+
+import pytest
+
+from repro.mem.layout import Allocator, Region, align_up
+from repro.params import BLOCK_SIZE
+
+
+class TestAlignUp:
+    def test_already_aligned(self):
+        assert align_up(128, 64) == 128
+
+    def test_rounds_up(self):
+        assert align_up(65, 64) == 128
+
+    def test_zero(self):
+        assert align_up(0, 64) == 0
+
+    def test_alignment_one(self):
+        assert align_up(13, 1) == 13
+
+    def test_invalid_alignment(self):
+        with pytest.raises(ValueError):
+            align_up(10, 0)
+
+
+class TestRegion:
+    def test_alloc_returns_aligned(self):
+        region = Region("r", 0x1000, 1 << 20)
+        addr = region.alloc(100)
+        assert addr % BLOCK_SIZE == 0
+        assert addr >= 0x1000
+
+    def test_allocations_do_not_overlap(self):
+        region = Region("r", 0, 1 << 20)
+        a = region.alloc(100)
+        b = region.alloc(100)
+        assert b >= a + 100
+
+    def test_used_tracks_cursor(self):
+        region = Region("r", 0, 1 << 20)
+        region.alloc(64)
+        region.alloc(64)
+        assert region.used >= 128
+
+    def test_exhaustion_raises(self):
+        region = Region("r", 0, 128)
+        region.alloc(64)
+        with pytest.raises(MemoryError):
+            region.alloc(128)
+
+    def test_zero_size_rejected(self):
+        region = Region("r", 0, 1024)
+        with pytest.raises(ValueError):
+            region.alloc(0)
+
+
+class TestAllocator:
+    def test_regions_disjoint(self):
+        alloc = Allocator()
+        index = alloc.alloc_index(64)
+        data = alloc.alloc_data(64)
+        assert index < Allocator.DATA_BASE <= data
+
+    def test_block_of(self):
+        assert Allocator.block_of(0) == 0
+        assert Allocator.block_of(BLOCK_SIZE) == 1
+        assert Allocator.block_of(BLOCK_SIZE - 1) == 0
+
+    def test_blocks_spanned_single(self):
+        spanned = Allocator.blocks_spanned(0, 10)
+        assert list(spanned) == [0]
+
+    def test_blocks_spanned_multi(self):
+        spanned = Allocator.blocks_spanned(0, BLOCK_SIZE * 2 + 1)
+        assert list(spanned) == [0, 1, 2]
+
+    def test_blocks_spanned_unaligned(self):
+        spanned = Allocator.blocks_spanned(BLOCK_SIZE - 1, 2)
+        assert list(spanned) == [0, 1]

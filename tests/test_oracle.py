@@ -1,0 +1,101 @@
+"""Oracle equivalence: an unlimited IX-cache must match a naive model.
+
+The reference model keeps every inserted (range, level, node) in a flat
+list and answers probes by linear scan for the deepest covering range.
+A fully-associative IX-cache with ample capacity must agree with it on
+every probe — this pins down the hit-path semantics (range match + level
+priority) independent of geometry and replacement.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.ix_cache import IXCache
+from repro.indexes.base import IndexNode
+from repro.params import BLOCK_SIZE, CacheParams
+
+
+class OracleRangeCache:
+    """Naive reference semantics for the IX-cache hit path."""
+
+    def __init__(self) -> None:
+        self.entries: list[tuple[int, int, int, IndexNode]] = []
+
+    def insert(self, node: IndexNode) -> None:
+        if node.lo is None or node.hi is None:
+            return
+        if node.lo == float("-inf") or node.hi == float("inf"):
+            return
+        self.entries.append((node.lo, node.hi, node.level, node))
+
+    def probe(self, key: int) -> IndexNode | None:
+        best = None
+        for lo, hi, level, node in self.entries:
+            if lo <= key <= hi and (best is None or level > best[0]):
+                best = (level, node)
+        return best[1] if best else None
+
+
+def make_node(level, lo, hi):
+    node = IndexNode(level, [lo, hi], values=[0, 0], lo=lo, hi=hi)
+    node.nbytes = node.byte_size()
+    return node
+
+
+def big_fa_cache() -> IXCache:
+    return IXCache(
+        CacheParams(capacity_bytes=4096 * BLOCK_SIZE, ways=16),
+        associative=False,
+        coalesce=False,
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    inserts=st.lists(
+        st.tuples(st.integers(1, 8), st.integers(0, 5_000), st.integers(0, 200)),
+        min_size=1, max_size=60,
+    ),
+    probes=st.lists(st.integers(0, 5_500), min_size=1, max_size=40),
+)
+def test_property_unbounded_ix_matches_oracle(inserts, probes):
+    cache = big_fa_cache()
+    oracle = OracleRangeCache()
+    for level, lo, width in inserts:
+        node = make_node(level, lo, lo + width)
+        cache.insert(node)
+        oracle.insert(node)
+    for key in probes:
+        expected = oracle.probe(key)
+        got = cache.peek(key)
+        if expected is None:
+            assert got is None
+        else:
+            # Levels must agree; identity may differ only when two entries
+            # tie at the same level over the key.
+            assert got is not None
+            assert got.level == expected.level
+            assert got.lo <= key <= got.hi
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_property_randomized_agreement(seed):
+    rng = random.Random(seed)
+    cache = big_fa_cache()
+    oracle = OracleRangeCache()
+    for _ in range(120):
+        if rng.random() < 0.6:
+            level = rng.randint(1, 9)
+            lo = rng.randrange(10_000)
+            node = make_node(level, lo, lo + rng.randrange(100))
+            cache.insert(node)
+            oracle.insert(node)
+        else:
+            key = rng.randrange(10_500)
+            expected = oracle.probe(key)
+            got = cache.peek(key)
+            assert (got is None) == (expected is None)
+            if got is not None:
+                assert got.level == expected.level

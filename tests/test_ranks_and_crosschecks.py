@@ -1,0 +1,129 @@
+"""Skip-list rank queries + cross-checks against scipy/networkx."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.indexes.adjacency import AdjacencyList
+from repro.indexes.skiplist import SkipList
+from repro.indexes.sorted_set import SortedSet
+from repro.indexes.sparse_tensor import DynamicSparseTensor
+from repro.workloads.graphs import powerlaw_edges
+from repro.workloads.matrices import powerlaw_coo
+
+
+def skiplist_of(scores, **kw):
+    sl = SkipList(seed=5, **kw)
+    for s in scores:
+        sl.insert(s, f"m{s}")
+    return sl
+
+
+class TestSkipListRank:
+    def test_rank_of_min(self):
+        sl = skiplist_of([10, 20, 30])
+        assert sl.rank(10) == 0
+
+    def test_rank_counts_strictly_below(self):
+        sl = skiplist_of([10, 20, 30])
+        assert sl.rank(20) == 1
+        assert sl.rank(25) == 2
+        assert sl.rank(999) == 3
+
+    def test_rank_below_min(self):
+        assert skiplist_of([10]).rank(5) == 0
+
+    def test_by_rank_roundtrip(self):
+        scores = [5, 15, 25, 35, 45]
+        sl = skiplist_of(scores)
+        for i, s in enumerate(scores):
+            got = sl.by_rank(i)
+            assert got is not None
+            assert got[0] == s
+
+    def test_by_rank_out_of_range(self):
+        sl = skiplist_of([1, 2])
+        assert sl.by_rank(2) is None
+        assert sl.by_rank(-1) is None
+
+    @settings(max_examples=30, deadline=None)
+    @given(scores=st.sets(st.integers(0, 2_000), min_size=1, max_size=150),
+           probe=st.integers(0, 2_000))
+    def test_property_rank_matches_sorted_position(self, scores, probe):
+        sl = skiplist_of(scores)
+        expected = sum(1 for s in scores if s < probe)
+        assert sl.rank(probe) == expected
+
+    @settings(max_examples=25, deadline=None)
+    @given(scores=st.sets(st.integers(0, 1_000), min_size=1, max_size=100))
+    def test_property_by_rank_enumerates_in_order(self, scores):
+        sl = skiplist_of(scores)
+        got = [sl.by_rank(i)[0] for i in range(len(scores))]
+        assert got == sorted(scores)
+
+
+class TestSortedSetRank:
+    def test_global_rank_across_buckets(self):
+        sset = SortedSet(score_space=1_000, num_buckets=4, seed=2)
+        scores = list(range(0, 1_000, 37))
+        for s in scores:
+            sset.add(f"m{s}", s)
+        for i, s in enumerate(sorted(scores)):
+            assert sset.rank(s) == i
+
+    def test_by_rank_across_buckets(self):
+        sset = SortedSet(score_space=1_000, num_buckets=8, seed=2)
+        scores = sorted({(s * 131) % 1_000 for s in range(60)})
+        for s in scores:
+            sset.add(f"m{s}", s)
+        for i, s in enumerate(scores):
+            got = sset.by_rank(i)
+            assert got is not None and got[0] == s
+        assert sset.by_rank(len(scores)) is None
+
+
+class TestScipyCrossCheck:
+    """Our sparse substrate must agree with scipy's reference kernels."""
+
+    def test_spmv_matches_scipy(self):
+        from scipy.sparse import coo_matrix
+
+        triples = powerlaw_coo((60, 60), 400, seed=9)
+        tensor = DynamicSparseTensor.from_coo((60, 60), triples, fanout=3)
+        rows = [r for r, _, _ in triples]
+        cols = [c for _, c, _ in triples]
+        vals = [v for _, _, v in triples]
+        ref = coo_matrix((vals, (rows, cols)), shape=(60, 60)).tocsr()
+        x = np.arange(60, dtype=float)
+        ours = np.array(tensor.spmv(list(x)))
+        np.testing.assert_allclose(ours, ref @ x, rtol=1e-10)
+
+    def test_dense_roundtrip_matches_scipy(self):
+        from scipy.sparse import coo_matrix
+
+        triples = powerlaw_coo((25, 30), 120, seed=10)
+        tensor = DynamicSparseTensor.from_coo((25, 30), triples, fanout=4)
+        rows = [r for r, _, _ in triples]
+        cols = [c for _, c, _ in triples]
+        vals = [v for _, _, v in triples]
+        ref = coo_matrix((vals, (rows, cols)), shape=(25, 30)).toarray()
+        np.testing.assert_allclose(np.array(tensor.to_dense()), ref)
+
+
+class TestNetworkxCrossCheck:
+    def test_pagerank_matches_networkx(self):
+        import networkx as nx
+
+        edges = powerlaw_edges(80, 500, skew=0.8, seed=12)
+        graph = AdjacencyList(edges, num_vertices=80)
+        ours = graph.pagerank_push(damping=0.85, iterations=100)
+
+        g = nx.DiGraph()
+        g.add_nodes_from(range(80))
+        g.add_edges_from(set(edges))
+        # networkx collapses duplicate edges; mirror that in our input.
+        dedup_graph = AdjacencyList(sorted(set(edges)), num_vertices=80)
+        ours = dedup_graph.pagerank_push(damping=0.85, iterations=200)
+        ref = nx.pagerank(g, alpha=0.85, max_iter=200, tol=1e-12)
+        for v in range(80):
+            assert ours[v] == pytest.approx(ref[v], abs=5e-4)

@@ -1,0 +1,103 @@
+"""Tests for the scratchpad and DMA/stream-buffer substrates."""
+
+import pytest
+
+from repro.mem.dma import DMAEngine, StreamBuffer
+from repro.mem.dram import DRAM
+from repro.mem.scratchpad import Scratchpad
+from repro.params import BLOCK_SIZE
+
+
+class TestScratchpad:
+    def test_stage_and_read(self):
+        sp = Scratchpad(1024)
+        sp.stage("obj", 256)
+        assert sp.read("obj")
+        assert not sp.read("other")
+
+    def test_capacity_enforced(self):
+        sp = Scratchpad(256)
+        with pytest.raises(ValueError):
+            sp.stage("big", 512)
+
+    def test_fifo_spill(self):
+        sp = Scratchpad(256)
+        sp.stage("a", 128)
+        sp.stage("b", 128)
+        sp.stage("c", 128)  # spills a
+        assert "a" not in sp
+        assert "b" in sp and "c" in sp
+        assert sp.spills == 1
+
+    def test_dirty_spill_reported(self):
+        sp = Scratchpad(256)
+        sp.stage("a", 128, dirty=True)
+        sp.stage("b", 128)
+        spilled = sp.stage("c", 128)
+        assert spilled == ["a"]
+
+    def test_restage_updates_size(self):
+        sp = Scratchpad(256)
+        sp.stage("a", 100)
+        sp.stage("a", 200)
+        assert sp.used_bytes == 200
+        assert len(sp) == 1
+
+    def test_mark_dirty_and_drain(self):
+        sp = Scratchpad(256)
+        sp.stage("a", 64)
+        sp.mark_dirty("a")
+        assert sp.drain_dirty() == ["a"]
+        assert sp.drain_dirty() == []
+
+    def test_mark_dirty_missing(self):
+        sp = Scratchpad(256)
+        with pytest.raises(KeyError):
+            sp.mark_dirty("ghost")
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Scratchpad(0)
+
+
+class TestDMA:
+    def test_fetch_transfers_blocks(self):
+        dram = DRAM()
+        dma = DMAEngine(dram)
+        dma.fetch(0, BLOCK_SIZE * 3, 0)
+        assert dram.stats.reads == 3
+        assert dma.transfers == 1
+
+    def test_store_writes(self):
+        dram = DRAM()
+        dma = DMAEngine(dram)
+        dma.store(0, BLOCK_SIZE, 0)
+        assert dram.stats.writes == 1
+
+    def test_completion_time_advances(self):
+        dram = DRAM()
+        dma = DMAEngine(dram)
+        done = dma.fetch(0, BLOCK_SIZE, 100)
+        assert done > 100
+
+
+class TestStreamBuffer:
+    def test_sequential_stream_prefetches(self):
+        dram = DRAM()
+        sb = StreamBuffer(dram, depth_blocks=4)
+        sb.read(0, 0)  # demand
+        sb.read(BLOCK_SIZE, 0)  # in window
+        sb.read(BLOCK_SIZE * 2, 0)
+        assert sb.demand_fetches == 1
+        assert sb.prefetch_hits == 2
+
+    def test_random_jump_is_demand(self):
+        dram = DRAM()
+        sb = StreamBuffer(dram, depth_blocks=2)
+        sb.read(0, 0)
+        sb.read(BLOCK_SIZE * 100, 0)
+        assert sb.demand_fetches == 2
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            StreamBuffer(DRAM(), depth_blocks=0)

@@ -1,0 +1,146 @@
+"""Tests for the skip list, including segment-partition properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.indexes.skiplist import SkipList
+
+
+def build(scores, **kw):
+    sl = SkipList(seed=1, **kw)
+    for s in scores:
+        sl.insert(s, f"m{s}")
+    sl.finalize()
+    return sl
+
+
+class TestInsertGet:
+    def test_get_present(self):
+        sl = build([5, 1, 9])
+        assert sl.get(5) == ["m5"]
+
+    def test_get_absent(self):
+        sl = build([5])
+        assert sl.get(6) is None
+
+    def test_same_score_coalesces(self):
+        sl = SkipList(seed=1)
+        sl.insert(7, "a")
+        sl.insert(7, "b")
+        sl.insert(7, "a")  # duplicate member ignored
+        assert sl.get(7) == ["a", "b"]
+        assert len(sl) == 2
+
+    def test_items_sorted(self):
+        sl = build([9, 3, 7, 1])
+        assert [s for s, _ in sl.items()] == [1, 3, 7, 9]
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            SkipList(p=1.5)
+        with pytest.raises(ValueError):
+            SkipList(max_height=0)
+
+
+class TestWalk:
+    def test_walk_starts_at_head(self):
+        sl = build(range(0, 100, 3))
+        path = sl.walk(50)
+        assert path[0].lo == float("-inf")
+
+    def test_walk_finds_predecessor(self):
+        sl = build([10, 20, 30])
+        path = sl.walk(25)
+        assert path[-1].keys == [20]
+
+    def test_walk_exact(self):
+        sl = build([10, 20, 30])
+        assert sl.walk(20)[-1].keys == [20]
+
+    def test_walk_below_min(self):
+        sl = build([10, 20])
+        path = sl.walk(5)
+        assert path[-1].lo == float("-inf")  # stays at head
+
+    def test_walk_from_matches_suffix_destination(self):
+        sl = build(range(0, 300, 7), max_height=8)
+        full = sl.walk(150)
+        mid = full[len(full) // 2]
+        partial = sl.walk_from(mid, 150)
+        assert partial[-1].keys == full[-1].keys
+
+    def test_walk_from_is_shorter(self):
+        sl = build(range(0, 500, 3), max_height=8)
+        full = sl.walk(400)
+        mid = full[len(full) // 2]
+        assert len(sl.walk_from(mid, 400)) <= len(full)
+
+    def test_walk_from_foreign_node_rejected(self):
+        sl = build([1, 2, 3])
+        other = build([1, 2, 3])
+        foreign = other.walk(2)[-1]
+        with pytest.raises(KeyError):
+            sl.walk_from(foreign, 2)
+
+
+class TestNodes:
+    def test_levels_within_bounds(self):
+        sl = build(range(100), max_height=6, level_offset=2)
+        for node in sl.nodes():
+            assert 2 <= node.level <= 2 + 5
+
+    def test_segment_ranges_cover_scores(self):
+        sl = build(range(0, 50, 5))
+        # Every bottom-level node's [lo, hi] contains exactly the scores
+        # between it and its successor.
+        bottoms = [n for n in sl.nodes() if n.level == sl.max_height - 1 and n.lo != float("-inf")]
+        for node in bottoms:
+            assert node.lo <= node.hi
+
+    def test_addresses_unique(self):
+        sl = build(range(200))
+        addrs = [n.address for n in sl.nodes()]
+        assert len(addrs) == len(set(addrs))
+
+    def test_invariants(self):
+        sl = build(range(0, 1000, 3), max_height=10)
+        sl.check_invariants()
+
+
+@settings(max_examples=40, deadline=None)
+@given(scores=st.sets(st.integers(0, 5_000), min_size=1, max_size=200))
+def test_property_order_and_membership(scores):
+    sl = build(scores)
+    assert [s for s, _ in sl.items()] == sorted(scores)
+    for s in scores:
+        assert sl.get(s) == [f"m{s}"]
+    sl.check_invariants()
+
+
+@settings(max_examples=30, deadline=None)
+@given(scores=st.sets(st.integers(0, 2_000), min_size=2, max_size=150),
+       probe=st.integers(0, 2_000))
+def test_property_walk_finds_greatest_leq(scores, probe):
+    sl = build(scores)
+    path = sl.walk(probe)
+    expected = max((s for s in scores if s <= probe), default=None)
+    if expected is None:
+        assert path[-1].lo == float("-inf")
+    else:
+        assert path[-1].keys == [expected]
+
+
+@settings(max_examples=25, deadline=None)
+@given(scores=st.sets(st.integers(0, 1_000), min_size=3, max_size=100))
+def test_property_segments_partition_per_level(scores):
+    """At each level, segment ranges of non-head nodes are disjoint."""
+    sl = build(scores, max_height=6)
+    by_level: dict[int, list] = {}
+    for node in sl.nodes():
+        if node.lo == float("-inf"):
+            continue
+        by_level.setdefault(node.level, []).append((node.lo, node.hi))
+    for ranges in by_level.values():
+        ranges.sort()
+        for (lo1, hi1), (lo2, _) in zip(ranges, ranges[1:]):
+            assert hi1 < lo2

@@ -1,0 +1,150 @@
+"""Tests for Redis-style sorted sets over bucketed skip lists."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.indexes.sorted_set import SortedSet, implicit_score
+
+
+class TestBucketing:
+    def test_bucket_ranges_partition_space(self):
+        sset = SortedSet(score_space=1000, num_buckets=7)
+        covered = []
+        for b in range(7):
+            lo, hi = sset.bucket_range(b)
+            covered.extend(range(lo, hi + 1))
+        assert covered == list(range(1000))
+
+    def test_bucket_of_matches_range(self):
+        sset = SortedSet(score_space=1000, num_buckets=7)
+        for score in [0, 1, 142, 143, 500, 999]:
+            b = sset.bucket_of(score)
+            lo, hi = sset.bucket_range(b)
+            assert lo <= score <= hi
+
+    def test_out_of_range_rejected(self):
+        sset = SortedSet(score_space=100)
+        with pytest.raises(ValueError):
+            sset.bucket_of(100)
+        with pytest.raises(ValueError):
+            sset.bucket_of(-1)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            SortedSet(score_space=0)
+        with pytest.raises(ValueError):
+            SortedSet(score_space=10, num_buckets=0)
+
+
+class TestAddLookup:
+    def test_explicit_score(self):
+        sset = SortedSet(score_space=1 << 16, num_buckets=4)
+        sset.add("alice", 100)
+        assert sset.lookup("alice", 100)
+        assert not sset.lookup("bob", 100)
+
+    def test_implicit_score_deterministic(self):
+        s1 = implicit_score("user:42", 1 << 20)
+        s2 = implicit_score("user:42", 1 << 20)
+        assert s1 == s2
+
+    def test_implicit_score_used_for_lookup(self):
+        sset = SortedSet(score_space=1 << 16, num_buckets=8)
+        score = sset.add("charlie")
+        assert sset.lookup("charlie")
+        assert sset.members_at(score) == ["charlie"]
+
+    def test_same_score_multiple_members(self):
+        sset = SortedSet(score_space=1000, num_buckets=2)
+        sset.add("b", 5)
+        sset.add("a", 5)
+        assert sset.members_at(5) == ["a", "b"]  # lexicographic
+
+    def test_len(self):
+        sset = SortedSet(score_space=1000)
+        sset.add("x", 1)
+        sset.add("y", 2)
+        assert len(sset) == 2
+
+
+class TestWalks:
+    def test_walk_starts_at_directory(self):
+        sset = SortedSet(score_space=1000, num_buckets=4)
+        sset.add("m", 500)
+        path = sset.walk(500)
+        assert path[0].level == 0
+        lo, hi = sset.bucket_range(sset.bucket_of(500))
+        assert path[0].lo == lo and path[0].hi == hi
+
+    def test_walk_ends_at_score(self):
+        sset = SortedSet(score_space=1000, num_buckets=4)
+        for s in range(0, 1000, 50):
+            sset.add(f"m{s}", s)
+        assert sset.walk(500)[-1].keys == [500]
+
+    def test_walk_from_directory_node(self):
+        sset = SortedSet(score_space=1000, num_buckets=4)
+        sset.add("m", 600)
+        dir_node = sset.walk(600)[0]
+        path = sset.walk_from(dir_node, 600)
+        assert path[0] is dir_node
+        assert path[-1].keys == [600]
+
+    def test_walk_from_skip_node(self):
+        sset = SortedSet(score_space=1 << 12, num_buckets=2, seed=3)
+        for s in range(0, 4096, 16):
+            sset.add(f"m{s}", s)
+        full = sset.walk(2000)
+        mid = full[len(full) // 2]
+        partial = sset.walk_from(mid, 2000)
+        assert partial[-1].keys == full[-1].keys
+
+
+class TestRangeScan:
+    def test_scan_within_bucket(self):
+        sset = SortedSet(score_space=1000, num_buckets=1)
+        for s in [5, 10, 15, 20]:
+            sset.add(f"m{s}", s)
+        assert [s for s, _ in sset.range_scan(8, 17)] == [10, 15]
+
+    def test_scan_across_buckets(self):
+        sset = SortedSet(score_space=100, num_buckets=10)
+        for s in range(100):
+            sset.add(f"m{s}", s)
+        got = [s for s, _ in sset.range_scan(25, 47)]
+        assert got == list(range(25, 48))
+
+    def test_empty_scan(self):
+        sset = SortedSet(score_space=100)
+        assert list(sset.range_scan(50, 40)) == []
+
+
+class TestNodes:
+    def test_nodes_include_directory(self):
+        sset = SortedSet(score_space=100, num_buckets=5)
+        levels = {n.level for n in sset.nodes()}
+        assert 0 in levels
+
+    def test_height_counts_directory(self):
+        sset = SortedSet(score_space=100, num_buckets=2, max_height=6)
+        assert sset.height == 1 + 6
+
+
+@settings(max_examples=25, deadline=None)
+@given(scores=st.sets(st.integers(0, 9_999), min_size=1, max_size=150))
+def test_property_scan_matches_sorted_filter(scores):
+    sset = SortedSet(score_space=10_000, num_buckets=8, seed=2)
+    for s in scores:
+        sset.add(f"m{s}", s)
+    got = [s for s, _ in sset.range_scan(1_000, 8_000)]
+    assert got == sorted(s for s in scores if 1_000 <= s <= 8_000)
+
+
+@settings(max_examples=25, deadline=None)
+@given(scores=st.sets(st.integers(0, 999), min_size=1, max_size=80))
+def test_property_walk_reaches_every_score(scores):
+    sset = SortedSet(score_space=1_000, num_buckets=4, seed=5)
+    for s in scores:
+        sset.add(f"m{s}", s)
+    for s in scores:
+        assert sset.walk(s)[-1].keys == [s]

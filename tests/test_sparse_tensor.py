@@ -1,0 +1,145 @@
+"""Tests for dynamic sparse tensors and shallow fibers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.indexes.fiber import FiberMatrix
+from repro.indexes.sparse_tensor import DynamicSparseTensor
+
+
+TRIPLES = [(0, 0, 1.0), (1, 0, 2.0), (0, 3, 3.0), (2, 2, 4.0), (3, 3, 5.0)]
+
+
+class TestDynamicSparseTensor:
+    def test_from_coo_roundtrip(self):
+        t = DynamicSparseTensor.from_coo((4, 4), TRIPLES)
+        for r, c, v in TRIPLES:
+            assert t.get(r, c) == v
+        assert t.get(3, 0) == 0.0
+        assert t.nnz == len(TRIPLES)
+
+    def test_to_dense(self):
+        t = DynamicSparseTensor.from_coo((2, 2), [(0, 1, 7.0)])
+        assert t.to_dense() == [[0.0, 7.0], [0.0, 0.0]]
+
+    def test_col_nonzeros_sorted_by_row(self):
+        t = DynamicSparseTensor.from_coo((4, 4), TRIPLES)
+        assert t.col_nonzeros(0) == [(0, 1.0), (1, 2.0)]
+
+    def test_dynamic_set_new_column(self):
+        t = DynamicSparseTensor.from_coo((4, 4), TRIPLES)
+        t.set(1, 1, 9.0)
+        assert t.get(1, 1) == 9.0
+        assert t.nnz == len(TRIPLES) + 1
+
+    def test_dynamic_set_overwrites(self):
+        t = DynamicSparseTensor.from_coo((4, 4), TRIPLES)
+        t.set(0, 0, -1.0)
+        assert t.get(0, 0) == -1.0
+        assert t.nnz == len(TRIPLES)
+
+    def test_out_of_bounds(self):
+        t = DynamicSparseTensor((4, 4))
+        with pytest.raises(IndexError):
+            t.set(4, 0, 1.0)
+        with pytest.raises(ValueError):
+            DynamicSparseTensor((0, 4))
+
+    def test_walk_reaches_column_leaf(self):
+        cols = [(r % 7, c, 1.0) for r, c in enumerate(range(0, 200, 2))]
+        t = DynamicSparseTensor.from_coo((7, 200), cols, fanout=3)
+        path = t.walk(100)
+        assert path[-1].is_leaf
+        assert 100 in path[-1].keys
+
+    def test_depth_controlled_by_fanout(self):
+        triples = [(0, c, 1.0) for c in range(500)]
+        deep = DynamicSparseTensor.from_coo((1, 500), triples, fanout=3)
+        shallow = DynamicSparseTensor.from_coo((1, 500), triples, fanout=30)
+        assert deep.height > shallow.height
+
+    def test_spmv_matches_dense(self):
+        t = DynamicSparseTensor.from_coo((4, 4), TRIPLES)
+        x = [1.0, 2.0, 3.0, 4.0]
+        dense = t.to_dense()
+        expected = [sum(dense[i][j] * x[j] for j in range(4)) for i in range(4)]
+        assert t.spmv(x) == pytest.approx(expected)
+
+    def test_spmv_dim_check(self):
+        t = DynamicSparseTensor.from_coo((4, 4), TRIPLES)
+        with pytest.raises(ValueError):
+            t.spmv([1.0, 2.0])
+
+    def test_col_address_in_data_region(self):
+        from repro.mem.layout import Allocator
+
+        t = DynamicSparseTensor.from_coo((4, 4), TRIPLES)
+        assert t.col_address(0) >= Allocator.DATA_BASE
+        assert t.col_address(1) is None
+
+
+class TestFiberMatrix:
+    def test_three_levels(self):
+        f = FiberMatrix((10, 100), [(0, c, 1.0) for c in range(0, 100, 3)])
+        assert f.height == 3
+        levels = {n.level for n in f.nodes()}
+        assert levels == {0, 1, 2}
+
+    def test_walk_finds_column(self):
+        f = FiberMatrix((10, 100), [(0, c, 1.0) for c in range(0, 100, 3)])
+        path = f.walk(33)
+        assert path[-1].lo == 33
+
+    def test_walk_absent_column_stops_early(self):
+        f = FiberMatrix((10, 100), [(0, c, 1.0) for c in range(0, 100, 3)])
+        path = f.walk(34)
+        assert len(path) <= 2 or path[-1].lo != 34
+
+    def test_values_roundtrip(self):
+        triples = [(r, c, float(r * 100 + c)) for r in range(3) for c in range(0, 30, 5)]
+        f = FiberMatrix((3, 30), triples)
+        for r, c, v in triples:
+            assert f.get(r, c) == v
+
+    def test_stored_columns(self):
+        f = FiberMatrix((10, 100), [(0, 5, 1.0), (0, 2, 1.0)])
+        assert f.stored_columns() == [2, 5]
+
+    def test_bad_coords(self):
+        with pytest.raises(IndexError):
+            FiberMatrix((2, 2), [(5, 0, 1.0)])
+
+    def test_walk_from_segment(self):
+        f = FiberMatrix((10, 400), [(0, c, 1.0) for c in range(0, 400, 2)])
+        full = f.walk(200)
+        seg = full[1]
+        partial = f.walk_from(seg, 200)
+        assert partial[-1] is full[-1]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    coords=st.sets(st.tuples(st.integers(0, 19), st.integers(0, 19)),
+                   min_size=1, max_size=60)
+)
+def test_property_tensor_and_fiber_agree(coords):
+    triples = [(r, c, float(r * 20 + c + 1)) for r, c in coords]
+    tensor = DynamicSparseTensor.from_coo((20, 20), triples, fanout=3)
+    fiber = FiberMatrix((20, 20), triples)
+    for r in range(20):
+        for c in range(20):
+            assert tensor.get(r, c) == fiber.get(r, c)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    coords=st.sets(st.tuples(st.integers(0, 9), st.integers(0, 9)),
+                   min_size=1, max_size=30)
+)
+def test_property_dynamic_inserts_match_bulk(coords):
+    triples = [(r, c, float(r + c)) for r, c in coords]
+    bulk = DynamicSparseTensor.from_coo((10, 10), triples, fanout=3)
+    dynamic = DynamicSparseTensor((10, 10), fanout=3)
+    for r, c, v in triples:
+        dynamic.set(r, c, v)
+    assert bulk.to_dense() == dynamic.to_dense()
