@@ -88,6 +88,58 @@ def generate_report(
     return "\n".join(sections)
 
 
+def trace_overhead_check(
+    scale: float = 0.1, workload_name: str = "scan", system: str = "metal"
+) -> str:
+    """Measure the observability layer's cost on one (workload, system).
+
+    Runs the same simulation with tracing off and on, asserts the
+    aggregate numbers are identical (instrumentation must not perturb the
+    model), and reports the wall-clock overhead plus the counter snapshot
+    of the traced run.
+    """
+    from dataclasses import replace
+
+    from repro.bench.format import render_table
+    from repro.bench.runner import build_memsys
+    from repro.sim.metrics import simulate
+
+    lines: list[str] = []
+    workload = build_workload(workload_name, scale=scale)
+    timings: dict[bool, float] = {}
+    results = {}
+    for trace in (False, True):
+        sim = replace(workload.config.sim_params(), trace=trace)
+        memsys = build_memsys(system, workload, sim=sim)
+        started = time.perf_counter()
+        results[trace] = simulate(
+            memsys, workload.requests, sim, workload.total_index_blocks
+        )
+        timings[trace] = time.perf_counter() - started
+    off, on = results[False], results[True]
+    for attr in ("makespan", "num_walks", "total_walk_cycles",
+                 "short_circuited", "index_dram_accesses"):
+        a, b = getattr(off, attr), getattr(on, attr)
+        if a != b:
+            raise AssertionError(
+                f"tracing perturbed {attr}: off={a} on={b}"
+            )
+    overhead = (timings[True] - timings[False]) / max(timings[False], 1e-9)
+    lines.append(
+        f"{workload.name} / {system}: aggregates identical with tracing "
+        f"on/off; wall-clock overhead {overhead * 100:+.1f}% "
+        f"({timings[False]:.3f}s -> {timings[True]:.3f}s)"
+    )
+    assert on.tracer is not None and on.counters is not None
+    lines.append(
+        f"{len(on.tracer)} events buffered, {on.tracer.dropped} dropped"
+    )
+    rows = [[name, value] for name, value in on.counters.items()
+            if name.startswith(("events.", "cache.", "dram.", "engine."))]
+    lines.append(render_table(["counter", "value"], rows, "Counter snapshot"))
+    return "\n".join(lines)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", type=float, default=0.25,
@@ -98,7 +150,13 @@ def main(argv: list[str] | None = None) -> int:
                         help="write machine-readable figure data to this file")
     parser.add_argument("--fast", action="store_true",
                         help="skip the slow Fig. 23/24 sweeps")
+    parser.add_argument("--verify-trace-overhead", action="store_true",
+                        help="only check the observability layer: identical "
+                             "aggregates with tracing on/off + overhead %%")
     args = parser.parse_args(argv)
+    if args.verify_trace_overhead:
+        print(trace_overhead_check(scale=args.scale))
+        return 0
     payload: dict | None = {} if args.json else None
     report = generate_report(scale=args.scale, fast=args.fast,
                              collect_json=payload)

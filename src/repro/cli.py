@@ -6,12 +6,15 @@ Subcommands:
 * ``compare``   — run one workload across memory systems.
 * ``workloads`` — list the Table-2 workload registry.
 * ``ablation``  — run the design-choice ablations.
+* ``trace``     — run one workload with event tracing, export a Chrome
+  ``trace_event`` JSON (opens in Perfetto) and optionally JSONL.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 
 from repro.bench.format import render_table
 from repro.bench.runner import SYSTEMS, compare_systems
@@ -68,6 +71,44 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.bench.runner import build_memsys
+    from repro.obs.export import write_chrome_trace, write_jsonl
+    from repro.sim.metrics import simulate
+
+    if args.system not in SYSTEMS and args.system not in ("address_pf", "address_l2"):
+        print(f"unknown system: {args.system}", file=sys.stderr)
+        return 2
+    workload = build_workload(args.workload, scale=args.scale, seed=args.seed)
+    sim = replace(
+        workload.config.sim_params(), trace=True, trace_buffer=args.buffer
+    )
+    cache_bytes = args.cache_kb * 1024 if args.cache_kb else None
+    memsys = build_memsys(args.system, workload, cache_bytes, sim)
+    result = simulate(memsys, workload.requests, sim, workload.total_index_blocks)
+    assert result.tracer is not None
+
+    out = args.out or f"trace_{args.workload}_{args.system}.json"
+    write_chrome_trace(result.tracer, out, result.counters)
+    print(f"{workload.name} / {args.system}: {result.num_walks} walks, "
+          f"{len(result.tracer)} events buffered "
+          f"({result.tracer.dropped} dropped)")
+    print(f"Chrome trace written to {out} "
+          f"(open at https://ui.perfetto.dev or chrome://tracing)")
+    if args.jsonl:
+        write_jsonl(result.tracer, args.jsonl)
+        print(f"JSONL events written to {args.jsonl}")
+
+    rows = [[kind, count] for kind, count in sorted(result.tracer.counts.items())]
+    print()
+    print(render_table(["event kind", "count"], rows, "Event counts"))
+    if result.counters:
+        rows = [[name, value] for name, value in result.counters.items()]
+        print()
+        print(render_table(["counter", "value"], rows, "Counter snapshot"))
+    return 0
+
+
 def cmd_ablation(args: argparse.Namespace) -> int:
     from repro.bench import ablation
 
@@ -109,6 +150,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workload", default="scan", choices=sorted(WORKLOAD_BUILDERS))
     p.add_argument("--scale", type=float, default=0.25)
     p.set_defaults(func=cmd_ablation)
+
+    p = sub.add_parser("trace", help="run one workload with event tracing")
+    p.add_argument("workload", choices=sorted(WORKLOAD_BUILDERS))
+    p.add_argument("--system", default="metal",
+                   help="memory system to trace (default: metal)")
+    p.add_argument("--scale", type=float, default=0.05)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--cache-kb", type=int, default=None)
+    p.add_argument("--buffer", type=int, default=1 << 20,
+                   help="tracer ring-buffer capacity in events")
+    p.add_argument("--out", type=str, default=None,
+                   help="Chrome trace output path "
+                        "(default: trace_<workload>_<system>.json)")
+    p.add_argument("--jsonl", type=str, default=None,
+                   help="also export raw events as JSONL to this path")
+    p.set_defaults(func=cmd_trace)
 
     return parser
 

@@ -26,6 +26,7 @@ from repro.core.descriptors import (
 )
 from repro.core.ix_cache import IXCache
 from repro.indexes.base import IndexNode
+from repro.obs.tracer import NULL_TRACER
 
 
 class PatternController:
@@ -55,6 +56,7 @@ class PatternController:
         self.cache = cache
         self.batch_walks = batch_walks
         self.tune = tune
+        self.tracer = NULL_TRACER
         self._walks_in_batch = 0
         self._insertions_by_level: Counter[int] = Counter()
         self._batch_start_stats = (0, 0)  # (accesses, hits)
@@ -87,6 +89,9 @@ class PatternController:
         decision = descriptor.decide(node, height, ctx)
         if decision.insert:
             self._insertions_by_level[node.level] += 1
+        if self.tracer.enabled:
+            self.tracer.emit("desc_decision", level=node.level,
+                             insert=decision.insert, life=decision.life)
         return decision
 
     def end_walk(self) -> None:
@@ -130,6 +135,10 @@ class PatternController:
         self._insertions_by_level.clear()
         self._batch_start_stats = (stats.accesses, stats.hits)
         self._batch_start_hit_levels = Counter(self.cache.hit_levels)
+        if self.tracer.enabled:
+            self.tracer.emit("batch_tuned", batch=len(self.history),
+                             hit_rate=feedback.hit_rate,
+                             occupancy=feedback.occupancy)
 
     def _all_descriptors(self) -> list[ReuseDescriptor]:
         seen: list[ReuseDescriptor] = []

@@ -27,6 +27,7 @@ from repro.core.packing import blocks_needed, can_coalesce, coalesced_tag, pack_
 from repro.core.range_tag import RangeTag
 from repro.indexes.base import IndexNode
 from repro.mem.stats import CacheStats
+from repro.obs.tracer import NULL_TRACER
 from repro.params import BLOCK_SIZE, NS_STRIDE, CacheParams, IXCACHE_ENERGY_FJ
 
 _UTILITY_MAX = 15  # 4-bit saturating counter
@@ -101,6 +102,7 @@ class IXCache:
     ) -> None:
         self.params = params or CacheParams(e_access=IXCACHE_ENERGY_FJ)
         self.stats = CacheStats()
+        self.tracer = NULL_TRACER
         self.key_block_bits = key_block_bits
         self.replication_limit = replication_limit
         self.associative = associative
@@ -133,6 +135,22 @@ class IXCache:
         self._wide: list[IXEntry] = []
         #: Histogram of the levels at which probes hit (Fig. 21 inputs).
         self.hit_levels: Counter[int] = Counter()
+
+    def attach_obs(self, tracer, registry=None, prefix: str = "ix") -> None:
+        """Wire tracing and bind IX-cache statistics into a registry.
+
+        Event kinds pair 1:1 with :class:`CacheStats` increments so the
+        tracer's per-kind counts reconcile exactly with the aggregates:
+        ``ix_probe`` per access, ``ix_insert`` per insertion, ``ix_evict``
+        per eviction, ``ix_bypass`` per bypass.
+        """
+        self.tracer = tracer
+        if registry is not None:
+            registry.bind_stats(prefix, self.stats, (
+                "accesses", "hits", "misses",
+                "insertions", "evictions", "bypasses",
+            ))
+            registry.bind(f"{prefix}.resident_entries", lambda: len(self))
 
     # ------------------------------------------------------------------ #
     # Geometry helpers
@@ -175,6 +193,10 @@ class IXCache:
             if best_entry.life > 0:
                 best_entry.life -= 1
             self.hit_levels[best_entry.tag.level] += 1
+        if self.tracer.enabled:
+            self.tracer.emit("ix_probe", key=key, hit=hit)
+            if hit and best_entry is not None:
+                self.tracer.emit("ix_hit", key=key, level=best_entry.tag.level)
         return best_node
 
     def peek(self, key: int) -> IndexNode | None:
@@ -218,11 +240,15 @@ class IXCache:
                 placed_any = True
         if not placed_any:
             self.stats.bypasses += 1
+            if self.tracer.enabled:
+                self.tracer.emit("ix_bypass", level=node.level, reason="rejected")
         return placed_any
 
     def note_bypass(self) -> None:
         """Record a pattern-directed bypass (node deliberately not cached)."""
         self.stats.bypasses += 1
+        if self.tracer.enabled:
+            self.tracer.emit("ix_bypass", reason="pattern")
 
     def _place(self, tag: RangeTag, node: IndexNode, life: int) -> bool:
         if not self.associative:
@@ -258,6 +284,9 @@ class IXCache:
                 entry.tag = coalesced_tag(entry.tag, tag)
                 entry.nbytes += node_bytes
                 self.stats.insertions += 1
+                if self.tracer.enabled:
+                    self.tracer.emit("ix_insert", level=tag.level,
+                                     lo=tag.lo, hi=tag.hi, coalesced=True)
                 return True
         owner = tag.lo // NS_STRIDE
         if self.partition is not None and owner in self.partition:
@@ -268,11 +297,19 @@ class IXCache:
                 victim = min(victims, key=lambda e: (e.utility, e.seq))
                 ways.remove(victim)
                 self.stats.evictions += 1
+                if self.tracer.enabled:
+                    self.tracer.emit("ix_evict", level=victim.tag.level,
+                                     reason="quota")
         if len(ways) >= self.ways and not self._evict_from(ways):
             self.stats.bypasses += 1
+            if self.tracer.enabled:
+                self.tracer.emit("ix_bypass", level=tag.level, reason="pinned_set")
             return False
         ways.append(IXEntry(tag, [(tag, node)], life))
         self.stats.insertions += 1
+        if self.tracer.enabled:
+            self.tracer.emit("ix_insert", level=tag.level,
+                             lo=tag.lo, hi=tag.hi, set=set_idx)
         return True
 
     def _place_wide(self, tag: RangeTag, node: IndexNode, life: int) -> bool:
@@ -282,9 +319,14 @@ class IXCache:
                 return True
         if len(self._wide) >= self.wide_capacity and not self._evict_from(self._wide):
             self.stats.bypasses += 1
+            if self.tracer.enabled:
+                self.tracer.emit("ix_bypass", level=tag.level, reason="pinned_wide")
             return False
         self._wide.append(IXEntry(tag, [(tag, node)], life))
         self.stats.insertions += 1
+        if self.tracer.enabled:
+            self.tracer.emit("ix_insert", level=tag.level,
+                             lo=tag.lo, hi=tag.hi, wide=True)
         return True
 
     def _evict_from(self, entries: list[IXEntry]) -> bool:
@@ -302,10 +344,16 @@ class IXCache:
             victim = min(entries, key=lambda e: (e.life, e.utility, e.seq))
             entries.remove(victim)
             self.stats.evictions += 1
+            if self.tracer.enabled:
+                self.tracer.emit("ix_evict", level=victim.tag.level,
+                                 reason="pinned_reclaim")
             return True
         victim = min(victims, key=lambda e: (e.utility, e.seq))
         entries.remove(victim)
         self.stats.evictions += 1
+        if self.tracer.enabled:
+            self.tracer.emit("ix_evict", level=victim.tag.level,
+                             utility=victim.utility, reason="utility")
         for entry in entries:
             if entry.life > 0:
                 # Lifetime is a lease, not a grant in perpetuity: pins
@@ -342,6 +390,9 @@ class IXCache:
         removed += len(self._wide) - len(keep)
         self._wide[:] = keep
         self.stats.evictions += removed
+        if self.tracer.enabled:
+            for _ in range(removed):
+                self.tracer.emit("ix_evict", reason="invalidate")
         return removed
 
     def entries(self) -> list[IXEntry]:

@@ -32,6 +32,12 @@ class MetalIX:
         self.cache = IXCache(params, **cache_kwargs)
         self.controller: PatternController | None = None
 
+    def attach_obs(self, tracer, registry=None, prefix: str = "ix") -> None:
+        """Wire tracing through the IX-cache and pattern controller."""
+        self.cache.attach_obs(tracer, registry, prefix)
+        if self.controller is not None:
+            self.controller.tracer = tracer
+
     # ------------------------------------------------------------------ #
     # Walk pipeline interface
     # ------------------------------------------------------------------ #

@@ -11,6 +11,7 @@ from __future__ import annotations
 from collections import OrderedDict
 
 from repro.mem.stats import CacheStats
+from repro.obs.tracer import NULL_TRACER
 from repro.params import CacheParams
 
 
@@ -20,11 +21,20 @@ class AddressCache:
     def __init__(self, params: CacheParams | None = None) -> None:
         self.params = params or CacheParams()
         self.stats = CacheStats()
+        self.tracer = NULL_TRACER
         if self.params.ways <= 0:
             raise ValueError("ways must be positive")
         self._num_sets = self.params.sets
         # One ordered dict per set: key = block id, LRU order = insertion order.
         self._sets: list[OrderedDict[int, None]] = [OrderedDict() for _ in range(self._num_sets)]
+
+    def attach_obs(self, tracer, registry=None, prefix: str = "addr") -> None:
+        """Wire tracing and bind address-cache statistics into a registry."""
+        self.tracer = tracer
+        if registry is not None:
+            registry.bind_stats(prefix, self.stats, (
+                "accesses", "hits", "misses", "insertions", "evictions",
+            ))
 
     def _set_index(self, block: int) -> int:
         return block % self._num_sets
@@ -37,6 +47,8 @@ class AddressCache:
         if hit:
             ways.move_to_end(block)
         self.stats.record(hit)
+        if self.tracer.enabled:
+            self.tracer.emit("addr_probe", block=block, hit=hit)
         return hit
 
     def contains(self, address: int) -> bool:

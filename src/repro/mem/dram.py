@@ -9,6 +9,7 @@ Fig. 16. This substitutes for the paper's Gem5 + HBM setup (see DESIGN.md).
 from __future__ import annotations
 
 from repro.mem.stats import DRAMStats
+from repro.obs.tracer import NULL_TRACER
 from repro.params import BLOCK_SIZE, DRAMParams
 
 
@@ -22,8 +23,23 @@ class DRAM:
     def __init__(self, params: DRAMParams | None = None) -> None:
         self.params = params or DRAMParams()
         self.stats = DRAMStats()
+        self.tracer = NULL_TRACER
         self._bank_free = [0] * self.params.banks
         self._open_row: list[int | None] = [None] * self.params.banks
+
+    def attach_obs(self, tracer, registry=None, prefix: str = "dram") -> None:
+        """Wire tracing and bind DRAM statistics into a registry."""
+        self.tracer = tracer
+        if registry is not None:
+            registry.bind_stats(prefix, self.stats, (
+                "reads", "writes", "row_hits", "row_misses",
+                "energy_fj", "bytes_moved",
+            ))
+            registry.bind(f"{prefix}.accesses", lambda: self.stats.accesses)
+            registry.bind(
+                f"{prefix}.touched_blocks",
+                lambda: len(self.stats.touched_blocks),
+            )
 
     def bank_of(self, address: int) -> int:
         """Banks are interleaved at block granularity (common for HBM)."""
@@ -41,11 +57,18 @@ class DRAM:
         if self._open_row[bank] == row:
             latency, energy = p.t_row_hit, p.e_row_hit
             self.stats.row_hits += 1
+            row_hit = True
         else:
             latency, energy = p.t_access, p.e_access
             self.stats.row_misses += 1
             self._open_row[bank] = row
+            row_hit = False
         self._bank_free[bank] = start + p.t_occupancy
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "dram_access", ts=start, phase="engine", bank=bank,
+                address=address, row_hit=row_hit, write=write, latency=latency,
+            )
         if write:
             self.stats.writes += 1
         else:

@@ -17,6 +17,7 @@ from collections import OrderedDict
 from typing import Any
 
 from repro.mem.stats import CacheStats
+from repro.obs.tracer import NULL_TRACER
 from repro.params import CacheParams
 
 
@@ -26,8 +27,17 @@ class XCache:
     def __init__(self, params: CacheParams | None = None) -> None:
         self.params = params or CacheParams()
         self.stats = CacheStats()
+        self.tracer = NULL_TRACER
         self._num_sets = self.params.sets
         self._sets: list[OrderedDict[Any, Any]] = [OrderedDict() for _ in range(self._num_sets)]
+
+    def attach_obs(self, tracer, registry=None, prefix: str = "xcache") -> None:
+        """Wire tracing and bind X-cache statistics into a registry."""
+        self.tracer = tracer
+        if registry is not None:
+            registry.bind_stats(prefix, self.stats, (
+                "accesses", "hits", "misses", "insertions", "evictions",
+            ))
 
     def _set_index(self, key: Any) -> int:
         return hash(key) % self._num_sets
@@ -40,6 +50,8 @@ class XCache:
         if hit:
             ways.move_to_end(key)
         self.stats.record(hit)
+        if self.tracer.enabled:
+            self.tracer.emit("xcache_probe", key=key, hit=hit)
         return payload
 
     def insert(self, key: Any, payload: Any) -> None:
@@ -53,8 +65,12 @@ class XCache:
         if len(ways) >= self.params.ways:
             ways.popitem(last=False)
             self.stats.evictions += 1
+            if self.tracer.enabled:
+                self.tracer.emit("xcache_evict")
         ways[key] = payload
         self.stats.insertions += 1
+        if self.tracer.enabled:
+            self.tracer.emit("xcache_insert", key=key)
 
     def invalidate(self, key: Any) -> bool:
         ways = self._sets[self._set_index(key)]

@@ -1,0 +1,33 @@
+"""repro.obs — simulator observability: counters, tracing, exporters.
+
+Zero-overhead-when-disabled: every instrumented component defaults to
+:data:`NULL_TRACER` and guards emit sites with ``tracer.enabled``. Enable
+tracing by constructing :class:`SimParams` with ``trace=True`` (or passing
+a :class:`Tracer` to ``simulate``); export with :mod:`repro.obs.export` or
+``python -m repro trace <workload>``.
+"""
+
+from repro.obs.export import (
+    event_to_dict,
+    to_chrome_trace,
+    to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.registry import CounterHandle, Registry, TimerHandle
+from repro.obs.tracer import NULL_TRACER, NullTracer, TraceEvent, Tracer
+
+__all__ = [
+    "CounterHandle",
+    "NULL_TRACER",
+    "NullTracer",
+    "Registry",
+    "TimerHandle",
+    "TraceEvent",
+    "Tracer",
+    "event_to_dict",
+    "to_chrome_trace",
+    "to_jsonl",
+    "write_chrome_trace",
+    "write_jsonl",
+]

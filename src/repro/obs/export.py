@@ -1,0 +1,159 @@
+"""Trace exporters: JSONL and Chrome ``trace_event`` JSON.
+
+JSONL is the machine-diffable format the regression tests anchor on: one
+event per line, keys sorted, so two deterministic runs produce
+byte-identical files. The Chrome format opens directly in Perfetto
+(https://ui.perfetto.dev) or ``chrome://tracing``:
+
+* engine-phase walks become B/E duration slices (one track per walker
+  context),
+* DRAM accesses become complete (``X``) slices on per-bank tracks, named
+  ``row_hit``/``row_miss``,
+* crossbar stalls become ``X`` slices on per-port tracks,
+* generation-phase cache events (IX probe/hit/short-circuit/evict,
+  descriptor decisions, ...) become instant events on a "walkgen" track
+  whose timeline is the walk ordinal,
+* the counter snapshot rides along under ``otherData``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.obs.tracer import TraceEvent, Tracer
+
+#: pid assignments for the Chrome export (one "process" per subsystem).
+_PID_WALKGEN = 0
+_PID_ENGINE = 1
+_PID_DRAM = 2
+_PID_XBAR = 3
+
+_PROCESS_NAMES = {
+    _PID_WALKGEN: "walkgen (trace generation, ts = walk ordinal)",
+    _PID_ENGINE: "engine (walker contexts, ts = cycle)",
+    _PID_DRAM: "dram (banks, ts = cycle)",
+    _PID_XBAR: "crossbar (ports, ts = cycle)",
+}
+
+
+def event_to_dict(event: TraceEvent) -> dict[str, Any]:
+    """Flat JSON-friendly view of one event (kind-specific args inlined)."""
+    out: dict[str, Any] = {
+        "kind": event.kind,
+        "phase": event.phase,
+        "ts": event.ts,
+        "walk": event.walk,
+    }
+    out.update(event.args)
+    return out
+
+
+def to_jsonl(tracer: Tracer) -> str:
+    """One sorted-key JSON object per line; byte-stable across reruns."""
+    return "".join(
+        json.dumps(event_to_dict(event), sort_keys=True, separators=(",", ":")) + "\n"
+        for event in tracer
+    )
+
+
+def write_jsonl(tracer: Tracer, path: str) -> None:
+    with open(path, "w") as f:
+        f.write(to_jsonl(tracer))
+
+
+def _chrome_event(event: TraceEvent) -> dict[str, Any]:
+    """Map one TraceEvent to a Chrome trace_event record."""
+    args = dict(event.args)
+    if event.walk >= 0:
+        args["walk"] = event.walk
+    if event.kind in ("walk_start", "walk_end"):
+        return {
+            "name": "walk",
+            "ph": "B" if event.kind == "walk_start" else "E",
+            "ts": event.ts,
+            "pid": _PID_ENGINE,
+            "tid": args.pop("ctx", 0),
+            "args": args,
+        }
+    if event.kind == "dram_access":
+        return {
+            "name": "row_hit" if args.get("row_hit") else "row_miss",
+            "ph": "X",
+            "ts": event.ts,
+            "dur": args.pop("latency", 1),
+            "pid": _PID_DRAM,
+            "tid": args.pop("bank", 0),
+            "args": args,
+        }
+    if event.kind == "xbar_stall":
+        return {
+            "name": "stall",
+            "ph": "X",
+            "ts": event.ts,
+            "dur": args.pop("wait", 1),
+            "pid": _PID_XBAR,
+            "tid": args.pop("port", 0),
+            "args": args,
+        }
+    return {
+        "name": event.kind,
+        "ph": "i",
+        "s": "t",  # thread-scoped instant
+        "ts": event.ts,
+        "pid": _PID_WALKGEN,
+        "tid": 0,
+        "args": args,
+    }
+
+
+def to_chrome_trace(
+    tracer: Tracer, counters: dict[str, int | float] | None = None
+) -> dict[str, Any]:
+    """Chrome ``trace_event`` JSON object (load in Perfetto as-is)."""
+    records: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": name},
+        }
+        for pid, name in _PROCESS_NAMES.items()
+    ]
+    open_walks: dict[int, int] = {}  # ctx -> balance, to keep B/E paired
+    for event in tracer:
+        record = _chrome_event(event)
+        if record["ph"] == "B":
+            open_walks[record["tid"]] = open_walks.get(record["tid"], 0) + 1
+        elif record["ph"] == "E":
+            if open_walks.get(record["tid"], 0) <= 0:
+                continue  # E without a buffered B (ring dropped it): skip
+            open_walks[record["tid"]] -= 1
+        records.append(record)
+    # Close any walk left open by a truncated buffer so viewers don't
+    # render an unbounded slice.
+    last_ts = max((e.ts for e in tracer if e.phase == "engine"), default=0)
+    for tid, balance in sorted(open_walks.items()):
+        for _ in range(balance):
+            records.append({
+                "name": "walk", "ph": "E", "ts": last_ts,
+                "pid": _PID_ENGINE, "tid": tid, "args": {"truncated": True},
+            })
+    payload: dict[str, Any] = {
+        "traceEvents": records,
+        "displayTimeUnit": "ns",
+        "otherData": {"dropped_events": tracer.dropped},
+    }
+    if counters is not None:
+        payload["otherData"]["counters"] = dict(sorted(counters.items()))
+    return payload
+
+
+def write_chrome_trace(
+    tracer: Tracer,
+    path: str,
+    counters: dict[str, int | float] | None = None,
+) -> None:
+    with open(path, "w") as f:
+        json.dump(to_chrome_trace(tracer, counters), f, sort_keys=True)

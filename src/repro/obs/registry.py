@@ -1,0 +1,135 @@
+"""Hierarchical counter/timer registry.
+
+Components register their statistics under dotted names (``dram.reads``,
+``cache.metal.hits``, ``events.dram_access``); a :meth:`Registry.snapshot`
+resolves everything into one flat, deterministically ordered dict that
+``RunResult`` carries and the exporters embed.
+
+Three kinds of entries:
+
+* **counters** — integers owned by the registry (:class:`CounterHandle`);
+  cheap ``add()`` in hot paths.
+* **bindings** — zero-arg callables sampled lazily at snapshot time.
+  Components bind views over stats objects they already maintain
+  (``registry.bind("dram.reads", lambda: stats.reads)``) so registration
+  adds no per-access cost.
+* **timers** — wall-clock accumulators (:class:`TimerHandle`) for host-side
+  phases. Excluded from snapshots by default because they are not
+  deterministic across runs; pass ``timers=True`` to include them.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Iterable
+from typing import Any
+
+
+class CounterHandle:
+    """A registry-owned integer counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def add(self, n: int = 1) -> None:
+        self.value += n
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"CounterHandle({self.name}={self.value})"
+
+
+class TimerHandle:
+    """Accumulates wall-clock nanoseconds across ``with`` blocks."""
+
+    __slots__ = ("name", "total_ns", "count", "_started")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.total_ns = 0
+        self.count = 0
+        self._started = 0
+
+    def __enter__(self) -> "TimerHandle":
+        self._started = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.total_ns += time.perf_counter_ns() - self._started
+        self.count += 1
+
+
+class Registry:
+    """Flat-name registry with dotted-path hierarchy conventions."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, CounterHandle] = {}
+        self._bindings: dict[str, Callable[[], int | float]] = {}
+        self._values: dict[str, int | float] = {}
+        self._timers: dict[str, TimerHandle] = {}
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+
+    def counter(self, name: str) -> CounterHandle:
+        """Create-or-get an owned counter."""
+        handle = self._counters.get(name)
+        if handle is None:
+            handle = self._counters[name] = CounterHandle(name)
+        return handle
+
+    def timer(self, name: str) -> TimerHandle:
+        """Create-or-get a wall-clock timer (context manager)."""
+        handle = self._timers.get(name)
+        if handle is None:
+            handle = self._timers[name] = TimerHandle(name)
+        return handle
+
+    def bind(self, name: str, fn: Callable[[], int | float]) -> None:
+        """Register a lazily sampled source (resolved at snapshot time)."""
+        self._bindings[name] = fn
+
+    def bind_stats(self, prefix: str, stats: Any, fields: Iterable[str]) -> None:
+        """Bind attributes of an existing stats object under ``prefix``."""
+        for field_name in fields:
+            self.bind(
+                f"{prefix}.{field_name}",
+                (lambda s=stats, f=field_name: getattr(s, f)),
+            )
+
+    def set(self, name: str, value: int | float) -> None:
+        """Record a point-in-time gauge (e.g. post-run aggregates)."""
+        self._values[name] = value
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self, timers: bool = False) -> dict[str, int | float]:
+        """Flat name -> value view, sorted by name for determinism."""
+        out: dict[str, int | float] = {}
+        for name, handle in self._counters.items():
+            out[name] = handle.value
+        for name, fn in self._bindings.items():
+            out[name] = fn()
+        out.update(self._values)
+        if timers:
+            for name, handle in self._timers.items():
+                out[f"{name}.total_ns"] = handle.total_ns
+                out[f"{name}.count"] = handle.count
+        return dict(sorted(out.items()))
+
+    def subtree(self, prefix: str, timers: bool = False) -> dict[str, int | float]:
+        """Entries under ``prefix.`` with the prefix stripped."""
+        dotted = prefix.rstrip(".") + "."
+        return {
+            name[len(dotted):]: value
+            for name, value in self.snapshot(timers=timers).items()
+            if name.startswith(dotted)
+        }
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._bindings) + len(self._values)

@@ -1,0 +1,116 @@
+"""Structured event tracer with a bounded ring buffer.
+
+The tracer records typed :class:`TraceEvent` records from the simulator's
+hot paths: walk start/end, IX-cache probe/hit/short-circuit/evict, DRAM
+row-buffer hit/miss, crossbar stalls, descriptor decisions. Components
+hold a tracer reference that defaults to :data:`NULL_TRACER`; every emit
+site is guarded by ``tracer.enabled`` so the untraced path costs one
+attribute read and a branch — no allocation, no dict building.
+
+Events live in two time domains (``phase``):
+
+* ``gen``    — trace-generation order: cache state evolves while memory
+  systems turn walks into access traces. ``ts`` is the walk ordinal.
+* ``engine`` — event-engine time: ``ts`` is the DSA cycle the event
+  started at.
+
+The buffer is a ``deque(maxlen=capacity)``: old events are dropped (and
+counted in ``dropped``) rather than growing without bound. Per-kind event
+*counts* are exact regardless of drops, so counters always reconcile with
+``RunResult``/``DRAMStats`` aggregates even on long runs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One typed event. ``args`` holds kind-specific fields."""
+
+    kind: str
+    ts: int
+    phase: str = "gen"
+    #: Walk ordinal the event belongs to; -1 when not walk-scoped.
+    walk: int = -1
+    args: dict = field(default_factory=dict)
+
+
+class Tracer:
+    """Bounded ring buffer of :class:`TraceEvent` plus per-kind counts."""
+
+    enabled = True
+
+    def __init__(self, capacity: int = 1 << 20) -> None:
+        if capacity <= 0:
+            raise ValueError("tracer capacity must be positive")
+        self.capacity = capacity
+        self._events: deque[TraceEvent] = deque(maxlen=capacity)
+        #: Events evicted from the ring buffer (buffer full).
+        self.dropped = 0
+        #: Exact per-kind event counts (immune to ring-buffer drops).
+        self.counts: Counter[str] = Counter()
+        #: Current walk ordinal; set by the run orchestrator so emit sites
+        #: do not need to thread a walk id through every call.
+        self.walk = -1
+
+    def emit(self, kind: str, ts: int = 0, phase: str = "gen",
+             walk: int | None = None, **args) -> None:
+        """Record one event. ``walk=None`` inherits the current walk."""
+        self.counts[kind] += 1
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self._events.append(TraceEvent(
+            kind, ts, phase, self.walk if walk is None else walk, args
+        ))
+
+    def events(self, kind: str | None = None) -> list[TraceEvent]:
+        """Buffered events, optionally filtered by kind."""
+        if kind is None:
+            return list(self._events)
+        return [e for e in self._events if e.kind == kind]
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.counts.clear()
+        self.dropped = 0
+        self.walk = -1
+
+
+class NullTracer:
+    """Do-nothing tracer: the default wired into every component.
+
+    ``enabled`` is False so hot paths skip argument evaluation entirely
+    (``if tracer.enabled: tracer.emit(...)``); ``emit`` is still a no-op
+    for call sites that do not guard.
+    """
+
+    enabled = False
+    walk = -1
+    dropped = 0
+
+    def emit(self, kind: str, ts: int = 0, phase: str = "gen",
+             walk: int | None = None, **args) -> None:
+        return None
+
+    def events(self, kind: str | None = None) -> list[TraceEvent]:
+        return []
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(())
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: Shared singleton; components compare against / default to this.
+NULL_TRACER = NullTracer()

@@ -133,6 +133,13 @@ class SimParams:
     #: Cycles for a fully-associative probe (CAM match across every entry;
     #: costs roughly double a set-indexed lookup at these entry counts).
     t_fa_probe: int = 24
+    #: Enable the observability layer (repro.obs): structured event tracing
+    #: plus counter snapshots in RunResult. Off by default; the untraced
+    #: path stays allocation-free.
+    trace: bool = False
+    #: Ring-buffer capacity of the tracer (events beyond this are dropped
+    #: oldest-first; per-kind counts stay exact).
+    trace_buffer: int = 1 << 20
 
 
 DEFAULT_SIM = SimParams()

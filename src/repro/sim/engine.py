@@ -15,6 +15,7 @@ import heapq
 from dataclasses import dataclass, field
 
 from repro.mem.dram import DRAM
+from repro.obs.tracer import NULL_TRACER
 from repro.params import BLOCK_SIZE, SimParams
 from repro.sim.noc import Crossbar
 
@@ -70,6 +71,13 @@ class Engine:
         self.params = params or SimParams()
         self.dram = dram or DRAM(self.params.dram)
         self.xbar = Crossbar(self.params.xbar)
+        self.tracer = NULL_TRACER
+
+    def attach_obs(self, tracer, registry=None) -> None:
+        """Wire tracing through the engine, its DRAM, and its crossbar."""
+        self.tracer = tracer
+        self.dram.attach_obs(tracer, registry)
+        self.xbar.attach_obs(tracer, registry)
 
     @property
     def contexts(self) -> int:
@@ -92,6 +100,15 @@ class Engine:
         access_idx = [0] * contexts
         walk_start = [0] * contexts
         makespan = 0
+        tracer = self.tracer
+        tracing = tracer.enabled
+        if tracing:
+            # Walk i sits at queues[i % contexts][i // contexts], so the
+            # global walk ordinal is walk_idx * contexts + ctx.
+            for c in range(contexts):
+                if queues[c]:
+                    tracer.emit("walk_start", ts=0, phase="engine",
+                                walk=c, ctx=c)
 
         while heap:
             now, ctx = heapq.heappop(heap)
@@ -122,10 +139,17 @@ class Engine:
             if record_latencies:
                 result.walk_latencies.append(latency)
             makespan = max(makespan, now)
+            if tracing:
+                tracer.emit("walk_end", ts=now, phase="engine",
+                            walk=walk_idx[ctx] * contexts + ctx,
+                            ctx=ctx, latency=latency)
             walk_idx[ctx] += 1
             access_idx[ctx] = 0
             walk_start[ctx] = now
             if walk_idx[ctx] < len(queues[ctx]):
+                if tracing:
+                    tracer.emit("walk_start", ts=now, phase="engine",
+                                walk=walk_idx[ctx] * contexts + ctx, ctx=ctx)
                 heapq.heappush(heap, (now, ctx))
 
         result.makespan = makespan

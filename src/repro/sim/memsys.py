@@ -27,6 +27,7 @@ from repro.indexes.base import IndexNode
 from repro.mem.address_cache import AddressCache
 from repro.mem.opt_cache import belady_hit_flags
 from repro.mem.stats import CacheStats
+from repro.obs.tracer import NULL_TRACER
 from repro.params import BLOCK_SIZE, NS_STRIDE, CacheParams, SimParams
 from repro.sim.engine import Access, WalkTrace
 
@@ -76,6 +77,28 @@ class MemorySystem(ABC):
 
     def __init__(self, sim: SimParams | None = None) -> None:
         self.sim = sim or SimParams()
+        self.tracer = NULL_TRACER
+
+    def attach_obs(self, tracer, registry=None) -> None:
+        """Wire tracing through this system and its cache components.
+
+        Binds the system's :class:`CacheStats` (when it has one) under
+        ``cache.<name>`` in the registry and propagates the tracer into
+        the underlying cache models so their probe/insert/evict events
+        flow into one buffer.
+        """
+        self.tracer = tracer
+        if registry is not None:
+            stats = self.cache_stats
+            if stats is not None:
+                registry.bind_stats(f"cache.{self.name}", stats, (
+                    "accesses", "hits", "misses",
+                    "insertions", "evictions", "bypasses",
+                ))
+        self._attach_components(tracer, registry)
+
+    def _attach_components(self, tracer, registry=None) -> None:
+        """Propagate the tracer into owned cache models (overridden)."""
 
     @abstractmethod
     def process_walk(self, index: Any, key: int) -> WalkTrace:
@@ -161,6 +184,9 @@ class AddressCacheMemSys(MemorySystem):
     def cache_stats(self) -> CacheStats:
         return self.cache.stats
 
+    def _attach_components(self, tracer, registry=None) -> None:
+        self.cache.attach_obs(tracer)
+
     def process_walk(self, index: Any, key: int) -> WalkTrace:
         path = index.walk(key)
         accesses: list[Access] = []
@@ -231,6 +257,10 @@ class HierarchyMemSys(MemorySystem):
         # Report the L2 (shared level) statistics: the L1 is a latency
         # filter, capacity behaviour lives in the L2.
         return self.hierarchy.l2.stats
+
+    def _attach_components(self, tracer, registry=None) -> None:
+        self.hierarchy.l1.attach_obs(tracer, registry, prefix="cache.address_l1")
+        self.hierarchy.l2.attach_obs(tracer)
 
     def process_walk(self, index: Any, key: int) -> WalkTrace:
         path = index.walk(key)
@@ -318,6 +348,8 @@ class FAOPTMemSys(MemorySystem):
             hit = self._flags[self._flag_cursor]
             self._flag_cursor += 1
             self.stats.record(hit)
+            if self.tracer.enabled:
+                self.tracer.emit("opt_probe", block=block, hit=hit)
             if not hit:
                 self.stats.insertions += 1
                 accesses.append(Access("dram", block * BLOCK_SIZE, BLOCK_SIZE))
@@ -341,6 +373,9 @@ class XCacheMemSys(MemorySystem):
     @property
     def cache_stats(self) -> CacheStats:
         return self.cache.stats
+
+    def _attach_components(self, tracer, registry=None) -> None:
+        self.cache.attach_obs(tracer)
 
     def process_walk(self, index: Any, key: int) -> WalkTrace:
         ns = namespace_fn(index)
@@ -379,6 +414,9 @@ class MetalMemSys(MemorySystem):
     @property
     def cache_stats(self) -> CacheStats:
         return self.policy.stats
+
+    def _attach_components(self, tracer, registry=None) -> None:
+        self.policy.attach_obs(tracer)
 
     def _track(self, index: Any) -> None:
         """Subscribe to the index's structural changes for invalidation."""
@@ -421,6 +459,9 @@ class MetalMemSys(MemorySystem):
             remaining = path[1:]  # the cached node itself is on-chip
             start_level = start.level
             short = True
+            if self.tracer.enabled:
+                self.tracer.emit("ix_short_circuit", key=key,
+                                 level=start_level, skipped=start_level)
         else:
             path = index.walk(key)
             remaining = path

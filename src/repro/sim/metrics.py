@@ -14,6 +14,8 @@ from typing import Any, NamedTuple
 from repro.mem.dram import DRAM
 from repro.mem.layout import Allocator
 from repro.mem.stats import CacheStats, DRAMStats
+from repro.obs.registry import Registry
+from repro.obs.tracer import Tracer
 from repro.params import BLOCK_SIZE, SimParams
 from repro.sim.engine import Access, Engine, WalkTrace
 from repro.sim.memsys import MemorySystem
@@ -63,6 +65,10 @@ class RunResult:
     #: Index-region DRAM block fetches a streaming (cache-less) DSA would
     #: perform on the same requests — the Fig. 16 denominator.
     baseline_index_accesses: int = 0
+    #: Observability: counter-registry snapshot (None when tracing off).
+    counters: dict[str, int | float] | None = None
+    #: Observability: the tracer holding buffered events (None when off).
+    tracer: Tracer | None = None
 
     @property
     def avg_walk_latency(self) -> float:
@@ -128,6 +134,7 @@ class RunResult:
             ),
             "index_dram_accesses": self.index_dram_accesses,
             "bandwidth_utilization": self.bandwidth_utilization,
+            **({"counters": self.counters} if self.counters is not None else {}),
         }
 
 
@@ -167,23 +174,39 @@ def simulate(
     timed: bool = True,
     record_latencies: bool = False,
     working_set_window: int = 2_000,
+    tracer: Tracer | None = None,
+    registry: Registry | None = None,
 ) -> RunResult:
     """Run a workload through a memory system and time it.
 
     The functional pass (trace generation + cache state) happens in request
     order; the engine then times the traces with walker-context overlap and
     bank contention. ``timed=False`` uses the cheap functional timing.
+
+    Observability: when ``sim.trace`` is set (or a ``tracer`` is passed), a
+    :class:`Tracer` and :class:`Registry` are wired through the memory
+    system, engine, DRAM, and crossbar; the result carries the tracer plus
+    a counter snapshot. With tracing off (the default) the hot paths see
+    only a ``NULL_TRACER.enabled`` check.
     """
     from repro.sim.memsys import _node_blocks  # avoid an import cycle
 
     sim = sim or memsys.sim
+    if tracer is None and sim.trace:
+        tracer = Tracer(capacity=sim.trace_buffer)
+    tracing = tracer is not None
+    if tracing:
+        registry = registry or Registry()
+        memsys.attach_obs(tracer, registry)
     traces: list[WalkTrace] = []
     short = full = visited = 0
     index_dram = baseline = 0
     start_levels: list[int] = []
     data_base = Allocator.DATA_BASE
     baseline_cache: dict[tuple[int, int], int] = {}
-    for request in requests:
+    for walk_ordinal, request in enumerate(requests):
+        if tracing:
+            tracer.walk = walk_ordinal
         if request.scan_hi is not None:
             trace = memsys.process_range_scan(
                 request.index, request.key, request.scan_hi
@@ -214,10 +237,25 @@ def simulate(
         start_levels.append(trace.start_level)
 
     engine = Engine(sim, DRAM(sim.dram))
+    if tracing:
+        tracer.walk = -1  # engine events carry explicit walk ids
+        engine.attach_obs(tracer, registry)
     if timed:
         result = engine.run(traces, record_latencies=record_latencies)
     else:
         result = engine.run_functional(traces)
+    counters = None
+    if tracing and registry is not None:
+        registry.set("engine.makespan", result.makespan)
+        registry.set("engine.num_walks", result.num_walks)
+        registry.set("engine.total_walk_cycles", result.total_walk_cycles)
+        registry.set("walks.short_circuited", short)
+        registry.set("walks.full_hits", full)
+        registry.set("walks.nodes_visited", visited)
+        for kind, count in tracer.counts.items():
+            registry.set(f"events.{kind}", count)
+        registry.set("events.dropped", tracer.dropped)
+        counters = registry.snapshot()
     return RunResult(
         name=memsys.name,
         makespan=result.makespan,
@@ -237,4 +275,6 @@ def simulate(
         ),
         index_dram_accesses=index_dram,
         baseline_index_accesses=baseline,
+        counters=counters,
+        tracer=tracer,
     )

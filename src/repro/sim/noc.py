@@ -10,6 +10,7 @@ amplifies METAL's single-probe advantage under many concurrent walkers.
 
 from __future__ import annotations
 
+from repro.obs.tracer import NULL_TRACER
 from repro.params import CrossbarParams
 
 
@@ -23,6 +24,14 @@ class Crossbar:
         self._port_free = [0] * self.params.ports
         self.requests = 0
         self.total_wait = 0
+        self.tracer = NULL_TRACER
+
+    def attach_obs(self, tracer, registry=None, prefix: str = "xbar") -> None:
+        """Wire tracing and bind crossbar statistics into a registry."""
+        self.tracer = tracer
+        if registry is not None:
+            registry.bind(f"{prefix}.requests", lambda: self.requests)
+            registry.bind(f"{prefix}.total_wait", lambda: self.total_wait)
 
     def port_of(self, token: int) -> int:
         """Requests hash to ports by a token (cache bank / key block)."""
@@ -35,6 +44,11 @@ class Crossbar:
         self._port_free[port] = start + self.params.t_occupancy
         self.requests += 1
         self.total_wait += start - now
+        if start > now and self.tracer.enabled:
+            self.tracer.emit(
+                "xbar_stall", ts=now, phase="engine",
+                port=port, wait=start - now,
+            )
         return start + service_cycles
 
     @property
