@@ -8,7 +8,7 @@ All normalized to the streaming DSA.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.bench.format import render_table
 from repro.bench.runner import run_workload
@@ -17,6 +17,11 @@ from repro.workloads.suite import PAPER_LABELS, Workload, build_workload
 DEFAULT_WORKLOADS = (
     "scan", "sets", "spmm", "select", "where", "join", "rtree", "pagerank",
 )
+
+#: (workload, systems) pairs for the cycle-attribution cross-check: one
+#: pointer-chasing and one graph workload, streaming vs full METAL.
+ATTRIBUTION_WORKLOADS = ("scan", "pagerank")
+ATTRIBUTION_SYSTEMS = ("stream", "metal")
 
 
 @dataclass
@@ -48,6 +53,85 @@ def run_breakdown(
             )
         )
     return results
+
+
+@dataclass
+class AttributionResult:
+    """Where one (workload, system) run's walk cycles actually went."""
+
+    workload: str
+    system: str
+    total_walk_cycles: int
+    #: category -> cycles, over repro.obs.profile.ATTRIBUTION_CATEGORIES.
+    totals: dict[str, int]
+    dropped: int = 0
+
+    def fraction(self, category: str) -> float:
+        if self.total_walk_cycles == 0:
+            return 0.0
+        return self.totals.get(category, 0) / self.total_walk_cycles
+
+
+def run_attribution(
+    workloads: tuple[str, ...] = ATTRIBUTION_WORKLOADS,
+    systems: tuple[str, ...] = ATTRIBUTION_SYSTEMS,
+    scale: float = 0.25,
+    prebuilt: dict[str, Workload] | None = None,
+    trace_buffer: int = 1 << 22,
+) -> list[AttributionResult]:
+    """Traced runs folded into per-component cycle attribution.
+
+    This is the mechanism behind the Fig. 20 factor breakdown, measured
+    directly: the speedup METAL's stages buy shows up here as the DRAM
+    components (queue/hit/miss) shrinking relative to the streaming DSA.
+    Attribution is exact — per walk, the components sum to the measured
+    walk latency — unless the ring buffer dropped events (``dropped``).
+    """
+    from repro.obs.profile import build_profile
+
+    results = []
+    for name in workloads:
+        workload = (prebuilt or {}).get(name) or build_workload(name, scale=scale)
+        sim = replace(
+            workload.config.sim_params(), trace=True, trace_buffer=trace_buffer
+        )
+        for system in systems:
+            run = run_workload(workload, system, sim=sim)
+            assert run.tracer is not None
+            profile = build_profile(run.tracer, strict=False)
+            results.append(
+                AttributionResult(
+                    workload=name,
+                    system=system,
+                    total_walk_cycles=run.total_walk_cycles,
+                    totals=dict(profile.totals),
+                    dropped=run.tracer.dropped,
+                )
+            )
+    return results
+
+
+def format_attribution(results: list[AttributionResult]) -> str:
+    from repro.obs.profile import ATTRIBUTION_CATEGORIES
+
+    headers = ["workload", "system", "walk cycles"] + [
+        f"{cat} %" for cat in ATTRIBUTION_CATEGORIES
+    ]
+    rows = []
+    for r in results:
+        rows.append(
+            [PAPER_LABELS.get(r.workload, r.workload), r.system,
+             r.total_walk_cycles]
+            + [100.0 * r.fraction(cat) for cat in ATTRIBUTION_CATEGORIES]
+        )
+    note = ""
+    dropped = sum(r.dropped for r in results)
+    if dropped:
+        note = f" ({dropped} events dropped; attribution approximate)"
+    return render_table(
+        headers, rows,
+        "Cycle attribution — where walk latency goes, per component" + note,
+    )
 
 
 def format_fig20(results: list[BreakdownResult]) -> str:

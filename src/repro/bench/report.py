@@ -5,13 +5,33 @@ Usage::
     python -m repro.bench.report [--scale 0.25] [--out report.txt]
 
 Workloads are built once per scale and shared across experiments.
+
+Regression baselines: ``--baseline FILE --write-baseline`` stores the
+per-figure key metrics (Fig. 18 speedups, headline ratios, Table-3
+geomeans) of this run; a later ``--baseline FILE`` run compares against
+them and exits nonzero when any metric moved beyond the relative
+tolerance. The simulation is deterministic integer-cycle, so at a fixed
+scale/seed the stored metrics are exactly reproducible across machines.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 import time
+
+#: Default relative tolerance for baseline comparison. Generous enough to
+#: absorb intentional small model adjustments; a genuine perf regression
+#: moves the headline ratios far more than this.
+BASELINE_DEFAULT_RTOL = 0.05
+#: Baseline file schema version (bump on incompatible layout changes).
+BASELINE_SCHEMA = 1
+
+#: Exit codes for the baseline path (also used by CI).
+EXIT_BASELINE_MISSING = 2
+EXIT_REGRESSION = 3
 
 from repro.bench import adaptivity, breakdown, energy, occupancy, scaling
 from repro.bench import speedup as speedup_mod
@@ -62,6 +82,9 @@ def generate_report(
 
     add("Fig. 20", breakdown.format_fig20(
         breakdown.run_breakdown(scale=scale, prebuilt=prebuilt)))
+    if not fast:
+        add("Cycle attribution", breakdown.format_attribution(
+            breakdown.run_attribution(scale=scale, prebuilt=prebuilt)))
     add("Fig. 21", occupancy.format_fig21(
         occupancy.run_occupancy(scale=scale, prebuilt=prebuilt)))
     add("Fig. 22", adaptivity.format_fig22(
@@ -88,6 +111,89 @@ def generate_report(
     return "\n".join(sections)
 
 
+def extract_key_metrics(payload: dict) -> dict[str, float]:
+    """Flatten a ``collect_json`` payload into baseline-worthy metrics.
+
+    Speedups and ratios rather than raw makespans: ratios are what the
+    paper reports and they stay meaningful across deliberate retimings
+    of a single component.
+    """
+    metrics: dict[str, float] = {}
+    for workload, runs in sorted((payload.get("fig18") or {}).items()):
+        base = runs.get("stream")
+        base_makespan = base["makespan"] if base else 0
+        for system, run in sorted(runs.items()):
+            if base_makespan:
+                metrics[f"fig18.{workload}.{system}.speedup"] = (
+                    base_makespan / max(1, run["makespan"])
+                )
+            metrics[f"fig18.{workload}.{system}.miss_rate"] = run["miss_rate"]
+            metrics[f"fig18.{workload}.{system}.working_set"] = (
+                run["working_set_fraction"]
+            )
+    for name, value in sorted((payload.get("headline") or {}).items()):
+        metrics[f"headline.{name}"] = float(value)
+    table3 = payload.get("table3") or {}
+    for group in ("speedup", "energy", "ix_only"):
+        for name, value in sorted((table3.get(group) or {}).items()):
+            metrics[f"table3.{group}.{name}"] = float(value)
+    for i, value in enumerate(table3.get("pattern_gain") or ()):
+        metrics[f"table3.pattern_gain.{i}"] = float(value)
+    return metrics
+
+
+def write_baseline(path: str, payload: dict, rtol: float) -> dict:
+    """Store this run's key metrics as the regression baseline."""
+    baseline = {
+        "schema": BASELINE_SCHEMA,
+        "scale": payload.get("scale"),
+        "rtol": rtol,
+        "metrics": extract_key_metrics(payload),
+    }
+    with open(path, "w") as f:
+        json.dump(baseline, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return baseline
+
+
+def compare_baseline(
+    baseline: dict, payload: dict, rtol: float | None = None
+) -> tuple[list[str], list[str]]:
+    """Compare a run against a stored baseline.
+
+    Returns ``(regressions, notes)``. A metric regresses when its
+    relative difference exceeds ``rtol`` (the baseline's stored tolerance
+    unless overridden) or when it vanished from the run; metrics new in
+    the run are notes only — they regress nothing until baselined.
+    """
+    tol = rtol if rtol is not None else baseline.get("rtol", BASELINE_DEFAULT_RTOL)
+    expected: dict[str, float] = baseline.get("metrics", {})
+    actual = extract_key_metrics(payload)
+    regressions: list[str] = []
+    notes: list[str] = []
+    if baseline.get("scale") != payload.get("scale"):
+        regressions.append(
+            f"scale mismatch: baseline {baseline.get('scale')} vs "
+            f"run {payload.get('scale')} (metrics are scale-dependent)"
+        )
+        return regressions, notes
+    for name, want in sorted(expected.items()):
+        if name not in actual:
+            regressions.append(f"{name}: missing from run (baseline {want:.6g})")
+            continue
+        got = actual[name]
+        denom = max(abs(want), 1e-12)
+        rel = abs(got - want) / denom
+        if rel > tol:
+            regressions.append(
+                f"{name}: {got:.6g} vs baseline {want:.6g} "
+                f"({rel * 100:+.1f}% > {tol * 100:.1f}% tolerance)"
+            )
+    for name in sorted(set(actual) - set(expected)):
+        notes.append(f"{name}: new metric {actual[name]:.6g} (not in baseline)")
+    return regressions, notes
+
+
 def trace_overhead_check(
     scale: float = 0.1, workload_name: str = "scan", system: str = "metal"
 ) -> str:
@@ -112,8 +218,11 @@ def trace_overhead_check(
         sim = replace(workload.config.sim_params(), trace=trace)
         memsys = build_memsys(system, workload, sim=sim)
         started = time.perf_counter()
+        # record_latencies=True in both modes so the latency/depth
+        # histograms exist on both sides of the byte-identity check.
         results[trace] = simulate(
-            memsys, workload.requests, sim, workload.total_index_blocks
+            memsys, workload.requests, sim, workload.total_index_blocks,
+            record_latencies=True,
         )
         timings[trace] = time.perf_counter() - started
     off, on = results[False], results[True]
@@ -124,10 +233,20 @@ def trace_overhead_check(
             raise AssertionError(
                 f"tracing perturbed {attr}: off={a} on={b}"
             )
+    on_dict = dict(on.to_dict())
+    on_dict.pop("counters", None)  # tracing-only by construction
+    off_json = json.dumps(off.to_dict(), sort_keys=True)
+    on_json = json.dumps(on_dict, sort_keys=True)
+    if off_json != on_json:
+        raise AssertionError(
+            "tracing perturbed the to_dict() summary (counters aside):\n"
+            f"off: {off_json}\non:  {on_json}"
+        )
     overhead = (timings[True] - timings[False]) / max(timings[False], 1e-9)
     lines.append(
         f"{workload.name} / {system}: aggregates identical with tracing "
-        f"on/off; wall-clock overhead {overhead * 100:+.1f}% "
+        f"on/off (to_dict byte-identical, counters aside); wall-clock "
+        f"overhead {overhead * 100:+.1f}% "
         f"({timings[False]:.3f}s -> {timings[True]:.3f}s)"
     )
     assert on.tracer is not None and on.counters is not None
@@ -153,11 +272,21 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--verify-trace-overhead", action="store_true",
                         help="only check the observability layer: identical "
                              "aggregates with tracing on/off + overhead %%")
+    parser.add_argument("--baseline", type=str, default=None,
+                        help="compare key metrics against this baseline "
+                             "JSON; nonzero exit on regression")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="(re)write the --baseline file from this run")
+    parser.add_argument("--baseline-rtol", type=float, default=None,
+                        help="relative tolerance for baseline comparison "
+                             "(default: the baseline file's stored value)")
     args = parser.parse_args(argv)
     if args.verify_trace_overhead:
         print(trace_overhead_check(scale=args.scale))
         return 0
-    payload: dict | None = {} if args.json else None
+    if args.write_baseline and not args.baseline:
+        parser.error("--write-baseline requires --baseline FILE")
+    payload: dict | None = {} if (args.json or args.baseline) else None
     report = generate_report(scale=args.scale, fast=args.fast,
                              collect_json=payload)
     print(report)
@@ -165,10 +294,40 @@ def main(argv: list[str] | None = None) -> int:
         with open(args.out, "w") as f:
             f.write(report)
     if args.json and payload is not None:
-        import json
-
         with open(args.json, "w") as f:
             json.dump(payload, f, indent=2)
+    if args.baseline:
+        assert payload is not None
+        if args.write_baseline:
+            baseline = write_baseline(
+                args.baseline, payload,
+                args.baseline_rtol if args.baseline_rtol is not None
+                else BASELINE_DEFAULT_RTOL,
+            )
+            print(f"baseline written to {args.baseline} "
+                  f"({len(baseline['metrics'])} metrics, "
+                  f"rtol {baseline['rtol']})")
+            return 0
+        if not os.path.exists(args.baseline):
+            print(f"baseline file not found: {args.baseline} "
+                  f"(create it with --write-baseline)", file=sys.stderr)
+            return EXIT_BASELINE_MISSING
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+        regressions, notes = compare_baseline(
+            baseline, payload, rtol=args.baseline_rtol
+        )
+        for note in notes:
+            print(f"note: {note}")
+        if regressions:
+            print(f"{len(regressions)} metric(s) regressed vs "
+                  f"{args.baseline}:", file=sys.stderr)
+            for regression in regressions:
+                print(f"  - {regression}", file=sys.stderr)
+            return EXIT_REGRESSION
+        print(f"baseline check passed: "
+              f"{len(baseline.get('metrics', {}))} metrics within "
+              f"tolerance of {args.baseline}")
     return 0
 
 

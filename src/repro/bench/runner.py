@@ -67,6 +67,7 @@ def run_workload(
     cache_bytes: int | None = None,
     sim: SimParams | None = None,
     timed: bool = True,
+    record_latencies: bool = False,
     **overrides: Any,
 ) -> RunResult:
     """Simulate one (workload, memory system) pair."""
@@ -78,6 +79,7 @@ def run_workload(
         sim,
         workload.total_index_blocks,
         timed=timed,
+        record_latencies=record_latencies,
     )
 
 
@@ -87,9 +89,11 @@ def compare_systems(
     cache_bytes: int | None = None,
     sim: SimParams | None = None,
     timed: bool = True,
+    record_latencies: bool = False,
 ) -> dict[str, RunResult]:
     """Run every requested organization over one workload."""
     return {
-        kind: run_workload(workload, kind, cache_bytes, sim, timed=timed)
+        kind: run_workload(workload, kind, cache_bytes, sim, timed=timed,
+                           record_latencies=record_latencies)
         for kind in kinds
     }

@@ -2,12 +2,18 @@
 
 Subcommands:
 
-* ``report``    — regenerate every table/figure (see repro.bench.report).
-* ``compare``   — run one workload across memory systems.
+* ``report``    — regenerate every table/figure (see repro.bench.report);
+  ``--baseline`` compares key metrics against a stored baseline and
+  exits nonzero on regression.
+* ``compare``   — run one workload across memory systems (with walk
+  latency percentiles).
 * ``workloads`` — list the Table-2 workload registry.
 * ``ablation``  — run the design-choice ablations.
 * ``trace``     — run one workload with event tracing, export a Chrome
   ``trace_event`` JSON (opens in Perfetto) and optionally JSONL.
+* ``profile``   — run one workload traced and fold the events into
+  answers: per-component cycle attribution, walk-latency percentiles,
+  gen/engine time series (CSV), and an OpenMetrics snapshot.
 """
 
 from __future__ import annotations
@@ -19,6 +25,44 @@ from dataclasses import replace
 from repro.bench.format import render_table
 from repro.bench.runner import SYSTEMS, compare_systems
 from repro.workloads.suite import PAPER_LABELS, WORKLOAD_BUILDERS, build_workload
+
+#: Variant systems accepted everywhere SYSTEMS is, but excluded from the
+#: default Fig. 18 lineup (next-line-prefetch address cache, two-level
+#: address hierarchy).
+EXTRA_SYSTEMS: tuple[str, ...] = ("address_pf", "address_l2")
+
+
+def known_systems() -> tuple[str, ...]:
+    """Every memory-system kind a subcommand may name."""
+    return SYSTEMS + EXTRA_SYSTEMS
+
+
+def unknown_systems(kinds) -> list[str]:
+    """The subset of ``kinds`` no subcommand can build, sorted."""
+    return sorted(set(kinds) - set(known_systems()))
+
+
+def _reject_unknown_systems(kinds) -> bool:
+    """Shared validation for compare/trace/profile; True when invalid."""
+    unknown = unknown_systems(kinds)
+    if unknown:
+        print(f"unknown systems: {unknown} "
+              f"(choose from {', '.join(known_systems())})", file=sys.stderr)
+    return bool(unknown)
+
+
+def _warn_dropped(tracer, flag: str = "--buffer") -> None:
+    """Point at the ring-buffer size that would have kept every event."""
+    if not tracer.dropped:
+        return
+    needed = len(tracer) + tracer.dropped
+    suggested = 1 << (needed - 1).bit_length()
+    print(
+        f"warning: ring buffer dropped {tracer.dropped} of {needed} "
+        f"events (oldest first); rerun with {flag} {suggested} to keep "
+        f"them all",
+        file=sys.stderr,
+    )
 
 
 def cmd_workloads(_args: argparse.Namespace) -> int:
@@ -34,41 +78,56 @@ def cmd_workloads(_args: argparse.Namespace) -> int:
 
 def cmd_compare(args: argparse.Namespace) -> int:
     kinds = tuple(args.systems.split(",")) if args.systems else SYSTEMS
-    unknown = set(kinds) - set(SYSTEMS) - {"address_pf"}
-    if unknown:
-        print(f"unknown systems: {sorted(unknown)}", file=sys.stderr)
+    if _reject_unknown_systems(kinds):
         return 2
     workload = build_workload(args.workload, scale=args.scale, seed=args.seed)
     print(f"{workload.name}: {workload.notes}")
-    results = compare_systems(workload, kinds=kinds,
-                              cache_bytes=args.cache_kb * 1024 if args.cache_kb else None)
+    results = compare_systems(
+        workload, kinds=kinds,
+        cache_bytes=args.cache_kb * 1024 if args.cache_kb else None,
+        record_latencies=True,
+    )
     base = results.get("stream") or next(iter(results.values()))
     rows = []
     for name, run in results.items():
+        pct = run.latency_percentiles() or {}
         rows.append([
             name,
             base.makespan / max(1, run.makespan),
             run.avg_walk_latency,
+            pct.get("p50", "-"),
+            pct.get("p99", "-"),
             run.miss_rate,
             run.working_set_fraction,
             run.dram_energy_fj / 1e6,
         ])
     print(render_table(
-        ["system", "speedup", "walk lat", "miss", "working set", "DRAM nJ"],
+        ["system", "speedup", "walk lat", "p50", "p99", "miss",
+         "working set", "DRAM nJ"],
         rows,
     ))
     return 0
 
 
 def cmd_report(args: argparse.Namespace) -> int:
-    from repro.bench.report import generate_report
+    # Delegate to the bench entry point so report/baseline semantics live
+    # in exactly one place (repro.bench.report).
+    from repro.bench.report import main as report_main
 
-    report = generate_report(scale=args.scale, fast=args.fast)
-    print(report)
+    argv = ["--scale", str(args.scale)]
     if args.out:
-        with open(args.out, "w") as f:
-            f.write(report)
-    return 0
+        argv += ["--out", args.out]
+    if args.fast:
+        argv += ["--fast"]
+    if args.json:
+        argv += ["--json", args.json]
+    if args.baseline:
+        argv += ["--baseline", args.baseline]
+    if args.write_baseline:
+        argv += ["--write-baseline"]
+    if args.baseline_rtol is not None:
+        argv += ["--baseline-rtol", str(args.baseline_rtol)]
+    return report_main(argv)
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -76,8 +135,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs.export import write_chrome_trace, write_jsonl
     from repro.sim.metrics import simulate
 
-    if args.system not in SYSTEMS and args.system not in ("address_pf", "address_l2"):
-        print(f"unknown system: {args.system}", file=sys.stderr)
+    if _reject_unknown_systems((args.system,)):
         return 2
     workload = build_workload(args.workload, scale=args.scale, seed=args.seed)
     sim = replace(
@@ -87,6 +145,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
     memsys = build_memsys(args.system, workload, cache_bytes, sim)
     result = simulate(memsys, workload.requests, sim, workload.total_index_blocks)
     assert result.tracer is not None
+    _warn_dropped(result.tracer)
 
     out = args.out or f"trace_{args.workload}_{args.system}.json"
     write_chrome_trace(result.tracer, out, result.counters)
@@ -106,6 +165,72 @@ def cmd_trace(args: argparse.Namespace) -> int:
         rows = [[name, value] for name, value in result.counters.items()]
         print()
         print(render_table(["counter", "value"], rows, "Counter snapshot"))
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    from repro.bench.runner import build_memsys
+    from repro.obs.export import write_openmetrics
+    from repro.obs.histogram import Histogram
+    from repro.obs.profile import build_profile, format_profile, reconcile
+    from repro.obs.series import engine_series, gen_series
+    from repro.sim.metrics import simulate
+
+    if _reject_unknown_systems((args.system,)):
+        return 2
+    workload = build_workload(args.workload, scale=args.scale, seed=args.seed)
+    sim = replace(
+        workload.config.sim_params(), trace=True, trace_buffer=args.buffer
+    )
+    cache_bytes = args.cache_kb * 1024 if args.cache_kb else None
+    memsys = build_memsys(args.system, workload, cache_bytes, sim)
+    result = simulate(memsys, workload.requests, sim, workload.total_index_blocks)
+    assert result.tracer is not None and result.counters is not None
+    _warn_dropped(result.tracer)
+
+    profile = build_profile(result.tracer, strict=False)
+    print(f"{workload.name} / {args.system}: {result.num_walks} walks, "
+          f"makespan {result.makespan} cycles")
+    print()
+    print(format_profile(profile))
+    if result.depth_hist is not None and result.depth_hist.count:
+        depth = result.depth_hist
+        print()
+        print(render_table(
+            ["metric", "nodes"],
+            [["p50", depth.percentile(50)], ["p90", depth.percentile(90)],
+             ["p99", depth.percentile(99)], ["max", depth.max]],
+            "Probe depth (nodes visited per walk)",
+        ))
+
+    if result.tracer.dropped:
+        print("\nnote: events were dropped; skipping exact reconciliation "
+              "(raise --buffer for a trustworthy profile)", file=sys.stderr)
+    else:
+        problems = reconcile(profile, result)
+        if problems:
+            print("\nPROFILE DOES NOT RECONCILE with RunResult aggregates:",
+                  file=sys.stderr)
+            for problem in problems:
+                print(f"  - {problem}", file=sys.stderr)
+            return 1
+        print("\nreconciliation: attribution sums match measured walk "
+              "latencies cycle for cycle")
+
+    prefix = args.out_prefix or f"profile_{args.workload}_{args.system}"
+    gen = gen_series(result.tracer, walk_interval=args.walk_interval)
+    gen.write_csv(f"{prefix}_gen.csv")
+    engine = engine_series(result.tracer, makespan=result.makespan)
+    engine.write_csv(f"{prefix}_engine.csv")
+    histograms = {}
+    if result.latency_hist is not None and result.latency_hist.count:
+        histograms["walk_latency_cycles"] = result.latency_hist
+    if result.depth_hist is not None and result.depth_hist.count:
+        histograms["probe_depth_nodes"] = result.depth_hist
+    write_openmetrics(f"{prefix}.om", result.counters, histograms)
+    print(f"series written to {prefix}_gen.csv ({len(gen)} samples) and "
+          f"{prefix}_engine.csv ({len(engine)} samples)")
+    print(f"OpenMetrics snapshot written to {prefix}.om")
     return 0
 
 
@@ -144,6 +269,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", type=float, default=0.25)
     p.add_argument("--out", type=str, default=None)
     p.add_argument("--fast", action="store_true")
+    p.add_argument("--json", type=str, default=None,
+                   help="write machine-readable figure data to this file")
+    p.add_argument("--baseline", type=str, default=None,
+                   help="compare per-figure key metrics against this "
+                        "baseline JSON; nonzero exit on regression")
+    p.add_argument("--write-baseline", action="store_true",
+                   help="(re)write the --baseline file from this run")
+    p.add_argument("--baseline-rtol", type=float, default=None,
+                   help="relative tolerance for baseline comparison "
+                        "(default: the baseline file's stored tolerance)")
     p.set_defaults(func=cmd_report)
 
     p = sub.add_parser("ablation", help="design-choice ablations")
@@ -166,6 +301,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jsonl", type=str, default=None,
                    help="also export raw events as JSONL to this path")
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "profile",
+        help="cycle attribution, latency percentiles, and time series",
+    )
+    p.add_argument("workload", choices=sorted(WORKLOAD_BUILDERS))
+    p.add_argument("--system", default="metal",
+                   help="memory system to profile (default: metal)")
+    p.add_argument("--scale", type=float, default=0.05)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--cache-kb", type=int, default=None)
+    p.add_argument("--buffer", type=int, default=1 << 20,
+                   help="tracer ring-buffer capacity in events")
+    p.add_argument("--walk-interval", type=int, default=64,
+                   help="gen-series sampling interval in walks")
+    p.add_argument("--out-prefix", type=str, default=None,
+                   help="output prefix for CSV/OpenMetrics files "
+                        "(default: profile_<workload>_<system>)")
+    p.set_defaults(func=cmd_profile)
 
     return parser
 

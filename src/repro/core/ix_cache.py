@@ -151,6 +151,8 @@ class IXCache:
                 "insertions", "evictions", "bypasses",
             ))
             registry.bind(f"{prefix}.resident_entries", lambda: len(self))
+            registry.bind(f"{prefix}.occupancy_fraction",
+                          lambda: self.occupancy_fraction)
 
     # ------------------------------------------------------------------ #
     # Geometry helpers
@@ -397,6 +399,16 @@ class IXCache:
 
     def entries(self) -> list[IXEntry]:
         return [e for ways in self._sets for e in ways] + list(self._wide)
+
+    @property
+    def capacity_entries(self) -> int:
+        """Total entry slots across the set-associative and wide arrays."""
+        return self.num_sets * self.ways + self.wide_capacity
+
+    @property
+    def occupancy_fraction(self) -> float:
+        """Live entries over capacity (the Fig. 21/22 occupancy series)."""
+        return len(self) / max(1, self.capacity_entries)
 
     def occupancy_by_level(self) -> dict[int, int]:
         """Number of cached entries per index level."""

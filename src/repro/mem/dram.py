@@ -65,9 +65,13 @@ class DRAM:
             row_hit = False
         self._bank_free[bank] = start + p.t_occupancy
         if self.tracer.enabled:
+            # ``wait`` is the bank-queueing delay (cycles the request sat
+            # behind a busy bank before starting) — the profiler's
+            # ``dram_queue`` attribution component.
             self.tracer.emit(
                 "dram_access", ts=start, phase="engine", bank=bank,
-                address=address, row_hit=row_hit, write=write, latency=latency,
+                address=address, row_hit=row_hit, write=write,
+                latency=latency, wait=start - now,
             )
         if write:
             self.stats.writes += 1

@@ -1,33 +1,67 @@
-"""repro.obs — simulator observability: counters, tracing, exporters.
+"""repro.obs — simulator observability: counters, tracing, analysis.
 
 Zero-overhead-when-disabled: every instrumented component defaults to
 :data:`NULL_TRACER` and guards emit sites with ``tracer.enabled``. Enable
 tracing by constructing :class:`SimParams` with ``trace=True`` (or passing
 a :class:`Tracer` to ``simulate``); export with :mod:`repro.obs.export` or
 ``python -m repro trace <workload>``.
+
+On top of the raw stream sits the analysis layer:
+
+* :mod:`repro.obs.profile`   — walk-span reconstruction and exact cycle
+  attribution (``python -m repro profile``).
+* :mod:`repro.obs.histogram` — streaming log-bucketed latency/depth
+  percentiles with bounded relative error.
+* :mod:`repro.obs.series`    — gen- and engine-time sampling (IX-cache
+  occupancy, short-circuit rate, DRAM bandwidth, bank queueing) with
+  CSV export.
 """
 
 from repro.obs.export import (
     event_to_dict,
     to_chrome_trace,
     to_jsonl,
+    to_openmetrics,
     write_chrome_trace,
     write_jsonl,
+    write_openmetrics,
+)
+from repro.obs.histogram import Histogram
+from repro.obs.profile import (
+    ATTRIBUTION_CATEGORIES,
+    Profile,
+    WalkSpan,
+    build_profile,
+    format_profile,
+    reconcile,
 )
 from repro.obs.registry import CounterHandle, Registry, TimerHandle
+from repro.obs.series import Series, engine_series, gen_series
 from repro.obs.tracer import NULL_TRACER, NullTracer, TraceEvent, Tracer
 
 __all__ = [
+    "ATTRIBUTION_CATEGORIES",
     "CounterHandle",
+    "Histogram",
     "NULL_TRACER",
     "NullTracer",
+    "Profile",
     "Registry",
+    "Series",
     "TimerHandle",
     "TraceEvent",
     "Tracer",
+    "WalkSpan",
+    "build_profile",
+    "engine_series",
     "event_to_dict",
+    "format_profile",
+    "gen_series",
+    "reconcile",
     "to_chrome_trace",
     "to_jsonl",
+    "to_openmetrics",
     "write_chrome_trace",
     "write_jsonl",
+    "write_openmetrics",
 ]

@@ -1,4 +1,4 @@
-"""Trace exporters: JSONL and Chrome ``trace_event`` JSON.
+"""Trace exporters: JSONL, Chrome ``trace_event`` JSON, and OpenMetrics.
 
 JSONL is the machine-diffable format the regression tests anchor on: one
 event per line, keys sorted, so two deterministic runs produce
@@ -14,13 +14,20 @@ byte-identical files. The Chrome format opens directly in Perfetto
   descriptor decisions, ...) become instant events on a "walkgen" track
   whose timeline is the walk ordinal,
 * the counter snapshot rides along under ``otherData``.
+
+The OpenMetrics text exposition (:func:`to_openmetrics`) renders a
+counter snapshot plus any :class:`~repro.obs.histogram.Histogram`
+objects in the format Prometheus-family scrapers ingest, so two runs'
+metrics can be joined or diffed with standard tooling.
 """
 
 from __future__ import annotations
 
 import json
+import re
 from typing import Any
 
+from repro.obs.histogram import Histogram
 from repro.obs.tracer import TraceEvent, Tracer
 
 #: pid assignments for the Chrome export (one "process" per subsystem).
@@ -157,3 +164,65 @@ def write_chrome_trace(
 ) -> None:
     with open(path, "w") as f:
         json.dump(to_chrome_trace(tracer, counters), f, sort_keys=True)
+
+
+_METRIC_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _metric_name(name: str, prefix: str) -> str:
+    """Sanitize a dotted counter name into an OpenMetrics metric name."""
+    full = f"{prefix}_{name}" if prefix else name
+    full = _METRIC_CHARS.sub("_", full)
+    if full and full[0].isdigit():
+        full = "_" + full
+    return full
+
+
+def _metric_value(value: int | float) -> str:
+    if isinstance(value, bool):  # bool is an int subclass; be explicit
+        return "1" if value else "0"
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def to_openmetrics(
+    counters: dict[str, int | float] | None = None,
+    histograms: dict[str, Histogram] | None = None,
+    prefix: str = "repro",
+) -> str:
+    """OpenMetrics text exposition of counters and histograms.
+
+    Scalar snapshot values become gauges (they are point-in-time reads
+    of a finished run, not monotonic process counters); histograms
+    become native OpenMetrics histograms with cumulative ``le`` buckets
+    over the non-empty log buckets plus ``+Inf``. Output is sorted by
+    metric name and terminated by ``# EOF`` per the spec.
+    """
+    lines: list[str] = []
+    for name in sorted(counters or {}):
+        metric = _metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_metric_value((counters or {})[name])}")
+    for name in sorted(histograms or {}):
+        hist = (histograms or {})[name]
+        metric = _metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bound, cumulative in hist.buckets():
+            lines.append(f'{metric}_bucket{{le="{bound}"}} {cumulative}')
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {hist.count}')
+        lines.append(f"{metric}_count {hist.count}")
+        lines.append(f"{metric}_sum {hist.total}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def write_openmetrics(
+    path: str,
+    counters: dict[str, int | float] | None = None,
+    histograms: dict[str, Histogram] | None = None,
+    prefix: str = "repro",
+) -> None:
+    with open(path, "w") as f:
+        f.write(to_openmetrics(counters, histograms, prefix))

@@ -1,0 +1,168 @@
+"""Streaming log-bucketed histogram (HDR-style) for cycle-valued metrics.
+
+The simulator needs tail latencies (Fig. 17 reports *average* walk
+latency, but regressions hide in the p99) without keeping every sample:
+a run at scale 1.0 times hundreds of thousands of walks. The classic
+answer is HdrHistogram's two-level bucketing: values below
+``2 * 2^significant_bits`` get exact unit buckets; above that, each
+power-of-two range is split into ``2^significant_bits`` sub-buckets, so
+any recorded value is represented by its bucket's upper bound with
+relative error at most ``2^-significant_bits``.
+
+Recording is allocation-free once the bucket array has grown to cover
+the largest observed value (the array tops out at a couple of thousand
+ints for 64-bit values), so a histogram can sit on the untraced path of
+the engine without perturbing the zero-overhead guarantee.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+
+class Histogram:
+    """Fixed-relative-error histogram over non-negative integers."""
+
+    __slots__ = ("significant_bits", "_sub_count", "_unit_limit",
+                 "_counts", "count", "total", "min", "max")
+
+    def __init__(self, significant_bits: int = 5) -> None:
+        if not 0 <= significant_bits <= 16:
+            raise ValueError("significant_bits must be in [0, 16]")
+        self.significant_bits = significant_bits
+        self._sub_count = 1 << significant_bits
+        #: Values below this are stored in exact unit-width buckets.
+        self._unit_limit = 2 * self._sub_count
+        self._counts: list[int] = []
+        self.count = 0
+        self.total = 0
+        self.min = 0
+        self.max = 0
+
+    @classmethod
+    def from_values(cls, values: Iterable[int],
+                    significant_bits: int = 5) -> "Histogram":
+        hist = cls(significant_bits)
+        for value in values:
+            hist.record(value)
+        return hist
+
+    # ------------------------------------------------------------------ #
+    # Bucket geometry
+    # ------------------------------------------------------------------ #
+
+    @property
+    def max_relative_error(self) -> float:
+        """Upper bound on (bucket_bound - value) / value for any value."""
+        return 2.0 ** -self.significant_bits
+
+    def bucket_index(self, value: int) -> int:
+        if value < self._unit_limit:
+            return value
+        exp = value.bit_length() - 1 - self.significant_bits
+        return ((exp + 1) << self.significant_bits) + ((value >> exp) - self._sub_count)
+
+    def bucket_bound(self, index: int) -> int:
+        """Inclusive upper bound of bucket ``index`` (its representative)."""
+        if index < self._unit_limit:
+            return index
+        exp = (index >> self.significant_bits) - 1
+        sub = index & (self._sub_count - 1)
+        return ((self._sub_count + sub + 1) << exp) - 1
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+
+    def record(self, value: int, count: int = 1) -> None:
+        value = int(value)
+        if value < 0:
+            raise ValueError("histogram values must be non-negative")
+        index = self.bucket_index(value)
+        counts = self._counts
+        if index >= len(counts):
+            counts.extend([0] * (index + 1 - len(counts)))
+        counts[index] += count
+        if self.count == 0 or value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.count += count
+        self.total += value * count
+
+    def merge(self, other: "Histogram") -> None:
+        if other.significant_bits != self.significant_bits:
+            raise ValueError("cannot merge histograms of different precision")
+        if other.count == 0:
+            return
+        if len(other._counts) > len(self._counts):
+            self._counts.extend([0] * (len(other._counts) - len(self._counts)))
+        for index, n in enumerate(other._counts):
+            if n:
+                self._counts[index] += n
+        if self.count == 0 or other.min < self.min:
+            self.min = other.min
+        self.max = max(self.max, other.max)
+        self.count += other.count
+        self.total += other.total
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            return 0.0
+        return self.total / self.count
+
+    def percentile(self, p: float) -> int:
+        """Value at percentile ``p`` (0..100), within the error bound.
+
+        Reported as the containing bucket's upper bound, clamped to the
+        exact recorded maximum so ``percentile(100) == max``.
+        """
+        if not 0 <= p <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        if self.count == 0:
+            return 0
+        rank = max(1, -(-self.count * p // 100))  # ceil without floats
+        cumulative = 0
+        for index, n in enumerate(self._counts):
+            if not n:
+                continue
+            cumulative += n
+            if cumulative >= rank:
+                return min(self.bucket_bound(index), self.max)
+        return self.max
+
+    def percentiles(self, ps: Iterable[float]) -> dict[str, int]:
+        return {f"p{p:g}": self.percentile(p) for p in ps}
+
+    def buckets(self) -> Iterator[tuple[int, int]]:
+        """Non-empty ``(upper_bound, cumulative_count)`` pairs, ascending."""
+        cumulative = 0
+        for index, n in enumerate(self._counts):
+            if not n:
+                continue
+            cumulative += n
+            yield self.bucket_bound(index), cumulative
+
+    def to_dict(self) -> dict[str, int | float]:
+        """Compact JSON-friendly summary used by RunResult/exporters."""
+        return {
+            "count": self.count,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Histogram(count={self.count}, min={self.min}, "
+                f"max={self.max}, mean={self.mean:.1f})")

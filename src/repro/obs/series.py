@@ -1,0 +1,181 @@
+"""Time-series sampling over the event stream (the data behind Figs. 21-22).
+
+The simulator runs in two time domains (see ``docs/simulation.md``):
+cache state evolves during trace *generation* (walk-ordinal time), the
+engine then times the traces (cycle time). Both get a sampler:
+
+* :func:`gen_series` — every ``walk_interval`` walks: IX-cache resident
+  entries (reconstructed as non-coalesced insertions minus evictions, so
+  it works offline on any exported trace), insertion/eviction churn,
+  probe hit rate, and short-circuit rate in the window.
+* :func:`engine_series` — every ``cycle_interval`` cycles: DRAM access
+  and row-hit counts, bytes moved, achieved bandwidth (bytes/cycle),
+  average bank queue wait, an occupancy-law estimate of bank queue depth
+  (waiting cycles / window), and crossbar stalls.
+
+Both produce a :class:`Series` — a named column table with deterministic
+CSV and JSON export, consumed by ``python -m repro profile`` and CI
+artifacts. Reconstruction is pure: it reads only the tracer's buffered
+events, so a dropped-event warning from the ring buffer applies here
+too (the leading window may be incomplete).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.obs.tracer import Tracer
+from repro.params import BLOCK_SIZE
+
+
+def _fmt_cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+@dataclass
+class Series:
+    """A named, column-ordered sample table with CSV/JSON export."""
+
+    name: str
+    columns: list[str]
+    rows: list[list[Any]] = field(default_factory=list)
+
+    def to_csv(self) -> str:
+        lines = [",".join(self.columns)]
+        lines.extend(",".join(_fmt_cell(cell) for cell in row)
+                     for row in self.rows)
+        return "\n".join(lines) + "\n"
+
+    def write_csv(self, path: str) -> None:
+        with open(path, "w") as f:
+            f.write(self.to_csv())
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def column(self, name: str) -> list[Any]:
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def gen_series(
+    tracer: Tracer,
+    walk_interval: int = 64,
+    num_walks: int | None = None,
+) -> Series:
+    """Generation-phase samples: cache state vs. walk ordinal.
+
+    ``ix_resident`` integrates non-coalesced ``ix_insert`` events minus
+    ``ix_evict`` events, which equals the IX-cache's live entry count at
+    every point of the run (verified against ``len(cache)`` by the
+    trace-anchored tests). Rates are per-window, not cumulative. The
+    ``walk`` column is the last walk ordinal covered by the window.
+    """
+    if walk_interval <= 0:
+        raise ValueError("walk_interval must be positive")
+    if num_walks is None:
+        num_walks = max((e.walk for e in tracer if e.walk >= 0), default=-1) + 1
+    _EMPTY = {"inserts": 0, "evicts": 0, "probes": 0, "hits": 0, "short": 0}
+    windows: dict[int, dict[str, int]] = {}
+    for event in tracer:
+        if event.phase != "gen" or event.walk < 0:
+            continue
+        row = windows.setdefault(event.walk // walk_interval, dict(_EMPTY))
+        kind = event.kind
+        if kind == "ix_insert" and not event.args.get("coalesced"):
+            row["inserts"] += 1
+        elif kind == "ix_evict":
+            row["evicts"] += 1
+        elif kind == "ix_probe":
+            row["probes"] += 1
+            if event.args.get("hit"):
+                row["hits"] += 1
+        elif kind == "ix_short_circuit":
+            row["short"] += 1
+    series = Series("gen", [
+        "walk", "ix_resident", "ix_inserts", "ix_evictions",
+        "probes", "hits", "hit_rate", "short_circuits", "short_circuit_rate",
+    ])
+    n_windows = max(-(-num_walks // walk_interval),
+                    max(windows, default=-1) + 1)
+    resident = 0
+    for w in range(n_windows):
+        row = windows.get(w, _EMPTY)
+        resident += row["inserts"] - row["evicts"]
+        walks = max(1, min(walk_interval, num_walks - w * walk_interval))
+        probes = row["probes"]
+        series.rows.append([
+            min((w + 1) * walk_interval, max(num_walks, 1)) - 1,
+            resident, row["inserts"], row["evicts"],
+            probes, row["hits"],
+            row["hits"] / probes if probes else 0.0,
+            row["short"],
+            row["short"] / walks,
+        ])
+    return series
+
+
+def engine_series(
+    tracer: Tracer,
+    cycle_interval: int | None = None,
+    makespan: int | None = None,
+    buckets: int = 100,
+) -> Series:
+    """Engine-phase samples: memory-system pressure vs. cycle time.
+
+    When ``cycle_interval`` is None it is derived from the observed (or
+    given) makespan so the series has about ``buckets`` rows.
+    ``bank_queue_depth`` is the occupancy-law estimate: total cycles
+    requests spent queued on busy banks in the window, divided by the
+    window length (average number of requests waiting).
+    """
+    events = [e for e in tracer
+              if e.phase == "engine" and e.kind in ("dram_access", "xbar_stall")]
+    if makespan is None:
+        makespan = max((e.ts for e in events), default=0)
+    if cycle_interval is None:
+        cycle_interval = max(1, makespan // max(1, buckets))
+    if cycle_interval <= 0:
+        raise ValueError("cycle_interval must be positive")
+    binned: dict[int, dict[str, int]] = {}
+    for event in events:
+        row = binned.setdefault(event.ts // cycle_interval, {
+            "accesses": 0, "row_hits": 0, "queue_wait": 0,
+            "xbar_stalls": 0, "xbar_wait": 0,
+        })
+        if event.kind == "dram_access":
+            row["accesses"] += 1
+            if event.args.get("row_hit"):
+                row["row_hits"] += 1
+            row["queue_wait"] += event.args.get("wait", 0)
+        else:
+            row["xbar_stalls"] += 1
+            row["xbar_wait"] += event.args.get("wait", 0)
+    series = Series("engine", [
+        "cycle", "dram_accesses", "row_hits", "row_misses", "bytes",
+        "bandwidth_bytes_per_cycle", "avg_queue_wait", "bank_queue_depth",
+        "xbar_stalls", "xbar_wait",
+    ])
+    for bucket in sorted(binned):
+        row = binned[bucket]
+        accesses = row["accesses"]
+        nbytes = accesses * BLOCK_SIZE
+        series.rows.append([
+            bucket * cycle_interval,
+            accesses,
+            row["row_hits"],
+            accesses - row["row_hits"],
+            nbytes,
+            nbytes / cycle_interval,
+            row["queue_wait"] / accesses if accesses else 0.0,
+            row["queue_wait"] / cycle_interval,
+            row["xbar_stalls"],
+            row["xbar_wait"],
+        ])
+    return series

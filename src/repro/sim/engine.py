@@ -110,12 +110,26 @@ class Engine:
                     tracer.emit("walk_start", ts=0, phase="engine",
                                 walk=c, ctx=c)
 
+        # Per-context attribution accumulators (profiling): SRAM probe
+        # service cycles and compute cycles of the in-flight walk. DRAM
+        # and crossbar components are carried by their own events.
+        probe_acc = [0] * contexts
+        compute_acc = [0] * contexts
+
         while heap:
             now, ctx = heapq.heappop(heap)
             trace = queues[ctx][walk_idx[ctx]]
             accesses = trace.accesses
             if access_idx[ctx] < len(accesses):
                 access = accesses[access_idx[ctx]]
+                if tracing:
+                    # Walk-attribute the DRAM/crossbar events this access
+                    # emits; prefetches never stall the walker, so they
+                    # stay out of per-walk attribution (walk = -1).
+                    tracer.walk = (
+                        -1 if access.kind == "dram_prefetch"
+                        else walk_idx[ctx] * contexts + ctx
+                    )
                 if access.kind == "dram":
                     for offset in range(0, max(access.nbytes, 1), BLOCK_SIZE):
                         now = self.dram.access(
@@ -127,8 +141,15 @@ class Engine:
                     for offset in range(0, max(access.nbytes, 1), BLOCK_SIZE):
                         self.dram.access(access.address + offset, now)
                 elif access.kind == "sram" and access.port >= 0:
+                    if tracing:
+                        probe_acc[ctx] += access.cycles
                     now = self.xbar.access(access.port, now, access.cycles)
                 else:
+                    if tracing:
+                        if access.kind == "compute":
+                            compute_acc[ctx] += access.cycles
+                        else:
+                            probe_acc[ctx] += access.cycles
                     now += access.cycles
                 access_idx[ctx] += 1
                 heapq.heappush(heap, (now, ctx))
@@ -142,7 +163,10 @@ class Engine:
             if tracing:
                 tracer.emit("walk_end", ts=now, phase="engine",
                             walk=walk_idx[ctx] * contexts + ctx,
-                            ctx=ctx, latency=latency)
+                            ctx=ctx, latency=latency,
+                            probe=probe_acc[ctx], compute=compute_acc[ctx])
+                probe_acc[ctx] = 0
+                compute_acc[ctx] = 0
             walk_idx[ctx] += 1
             access_idx[ctx] = 0
             walk_start[ctx] = now

@@ -185,7 +185,7 @@ class AddressCacheMemSys(MemorySystem):
         return self.cache.stats
 
     def _attach_components(self, tracer, registry=None) -> None:
-        self.cache.attach_obs(tracer)
+        self.cache.attach_obs(tracer, registry)
 
     def process_walk(self, index: Any, key: int) -> WalkTrace:
         path = index.walk(key)
@@ -260,7 +260,7 @@ class HierarchyMemSys(MemorySystem):
 
     def _attach_components(self, tracer, registry=None) -> None:
         self.hierarchy.l1.attach_obs(tracer, registry, prefix="cache.address_l1")
-        self.hierarchy.l2.attach_obs(tracer)
+        self.hierarchy.l2.attach_obs(tracer, registry)
 
     def process_walk(self, index: Any, key: int) -> WalkTrace:
         path = index.walk(key)
@@ -375,7 +375,7 @@ class XCacheMemSys(MemorySystem):
         return self.cache.stats
 
     def _attach_components(self, tracer, registry=None) -> None:
-        self.cache.attach_obs(tracer)
+        self.cache.attach_obs(tracer, registry)
 
     def process_walk(self, index: Any, key: int) -> WalkTrace:
         ns = namespace_fn(index)
@@ -416,7 +416,7 @@ class MetalMemSys(MemorySystem):
         return self.policy.stats
 
     def _attach_components(self, tracer, registry=None) -> None:
-        self.policy.attach_obs(tracer)
+        self.policy.attach_obs(tracer, registry)
 
     def _track(self, index: Any) -> None:
         """Subscribe to the index's structural changes for invalidation."""

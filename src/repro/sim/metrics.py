@@ -14,6 +14,7 @@ from typing import Any, NamedTuple
 from repro.mem.dram import DRAM
 from repro.mem.layout import Allocator
 from repro.mem.stats import CacheStats, DRAMStats
+from repro.obs.histogram import Histogram
 from repro.obs.registry import Registry
 from repro.obs.tracer import Tracer
 from repro.params import BLOCK_SIZE, SimParams
@@ -69,6 +70,12 @@ class RunResult:
     counters: dict[str, int | float] | None = None
     #: Observability: the tracer holding buffered events (None when off).
     tracer: Tracer | None = None
+    #: Walk-latency distribution (populated when latencies were recorded:
+    #: ``record_latencies=True`` or tracing enabled).
+    latency_hist: Histogram | None = None
+    #: Probe-depth distribution: nodes visited per walk (always populated;
+    #: identical with tracing on or off).
+    depth_hist: Histogram | None = None
 
     @property
     def avg_walk_latency(self) -> float:
@@ -100,6 +107,18 @@ class RunResult:
         if self.makespan == 0:
             return float("inf")
         return baseline.makespan / self.makespan
+
+    def latency_percentiles(self) -> dict[str, int] | None:
+        """p50/p90/p99/max walk latency, or None when not recorded."""
+        if self.latency_hist is None or self.latency_hist.count == 0:
+            return None
+        hist = self.latency_hist
+        return {
+            "p50": hist.percentile(50),
+            "p90": hist.percentile(90),
+            "p99": hist.percentile(99),
+            "max": hist.max,
+        }
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-serializable summary (for machine-readable reports)."""
@@ -134,6 +153,16 @@ class RunResult:
             ),
             "index_dram_accesses": self.index_dram_accesses,
             "bandwidth_utilization": self.bandwidth_utilization,
+            **(
+                {"latency": self.latency_hist.to_dict()}
+                if self.latency_hist is not None and self.latency_hist.count
+                else {}
+            ),
+            **(
+                {"probe_depth": self.depth_hist.to_dict()}
+                if self.depth_hist is not None and self.depth_hist.count
+                else {}
+            ),
             **({"counters": self.counters} if self.counters is not None else {}),
         }
 
@@ -201,6 +230,7 @@ def simulate(
     traces: list[WalkTrace] = []
     short = full = visited = 0
     index_dram = baseline = 0
+    depth_hist = Histogram()
     start_levels: list[int] = []
     data_base = Allocator.DATA_BASE
     baseline_cache: dict[tuple[int, int], int] = {}
@@ -234,16 +264,23 @@ def simulate(
         short += trace.short_circuited
         full += trace.full_hit
         visited += trace.nodes_visited
+        depth_hist.record(trace.nodes_visited)
         start_levels.append(trace.start_level)
 
     engine = Engine(sim, DRAM(sim.dram))
     if tracing:
         tracer.walk = -1  # engine events carry explicit walk ids
         engine.attach_obs(tracer, registry)
+        # The profiler and percentile gauges need per-walk latencies.
+        record_latencies = True
     if timed:
         result = engine.run(traces, record_latencies=record_latencies)
     else:
         result = engine.run_functional(traces)
+    latency_hist = (
+        Histogram.from_values(result.walk_latencies)
+        if result.walk_latencies else None
+    )
     counters = None
     if tracing and registry is not None:
         registry.set("engine.makespan", result.makespan)
@@ -255,6 +292,12 @@ def simulate(
         for kind, count in tracer.counts.items():
             registry.set(f"events.{kind}", count)
         registry.set("events.dropped", tracer.dropped)
+        if latency_hist is not None and latency_hist.count:
+            for name, value in latency_hist.to_dict().items():
+                registry.set(f"walk_latency.{name}", value)
+        if depth_hist.count:
+            for name, value in depth_hist.to_dict().items():
+                registry.set(f"probe_depth.{name}", value)
         counters = registry.snapshot()
     return RunResult(
         name=memsys.name,
@@ -277,4 +320,6 @@ def simulate(
         baseline_index_accesses=baseline,
         counters=counters,
         tracer=tracer,
+        latency_hist=latency_hist,
+        depth_hist=depth_hist,
     )

@@ -1,0 +1,165 @@
+"""Bench regression baselines: extraction, comparison, and exit codes.
+
+The contract CI leans on: self-comparison passes (deterministic
+simulation => identical metrics), perturbation beyond tolerance exits
+nonzero, a missing baseline file is its own distinct failure, and scale
+mismatches are refused rather than silently compared.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.report import (
+    BASELINE_DEFAULT_RTOL,
+    EXIT_BASELINE_MISSING,
+    EXIT_REGRESSION,
+    compare_baseline,
+    extract_key_metrics,
+    generate_report,
+    write_baseline,
+)
+from repro.bench.report import main as report_main
+
+SCALE = 0.02
+
+
+@pytest.fixture(scope="module")
+def payload():
+    collected: dict = {}
+    generate_report(scale=SCALE, fast=True, collect_json=collected)
+    return collected
+
+
+class TestExtraction:
+    def test_covers_every_figure_group(self, payload):
+        metrics = extract_key_metrics(payload)
+        groups = {name.split(".")[0] for name in metrics}
+        assert groups == {"fig18", "headline", "table3"}
+        # Fig. 18 contributes speedup/miss/working-set per (workload,
+        # system); the streaming baseline itself has speedup 1.0.
+        stream_speedups = [v for k, v in metrics.items()
+                          if k.startswith("fig18") and
+                          k.endswith("stream.speedup")]
+        assert stream_speedups and all(v == 1.0 for v in stream_speedups)
+
+    def test_values_are_finite_floats(self, payload):
+        for name, value in extract_key_metrics(payload).items():
+            assert isinstance(value, float) or isinstance(value, int), name
+            assert value == value and abs(value) != float("inf"), name
+
+    def test_empty_payload_gives_empty_metrics(self):
+        assert extract_key_metrics({}) == {}
+
+
+class TestCompare:
+    def test_self_compare_clean(self, payload, tmp_path):
+        path = tmp_path / "b.json"
+        baseline = write_baseline(str(path), payload, BASELINE_DEFAULT_RTOL)
+        assert json.loads(path.read_text()) == baseline
+        regressions, notes = compare_baseline(baseline, payload)
+        assert regressions == []
+        assert notes == []
+
+    def test_perturbation_beyond_tolerance_regresses(self, payload):
+        baseline = {
+            "schema": 1, "scale": payload["scale"], "rtol": 0.05,
+            "metrics": dict(extract_key_metrics(payload)),
+        }
+        name = next(iter(baseline["metrics"]))
+        baseline["metrics"][name] *= 1.10  # 10% > 5% tolerance
+        regressions, _ = compare_baseline(baseline, payload)
+        assert len(regressions) == 1
+        assert name in regressions[0]
+
+    def test_perturbation_within_tolerance_passes(self, payload):
+        baseline = {
+            "schema": 1, "scale": payload["scale"], "rtol": 0.05,
+            "metrics": dict(extract_key_metrics(payload)),
+        }
+        name = next(iter(baseline["metrics"]))
+        baseline["metrics"][name] *= 1.02  # 2% < 5% tolerance
+        regressions, _ = compare_baseline(baseline, payload)
+        assert regressions == []
+
+    def test_rtol_override_beats_stored_tolerance(self, payload):
+        baseline = {
+            "schema": 1, "scale": payload["scale"], "rtol": 0.5,
+            "metrics": dict(extract_key_metrics(payload)),
+        }
+        name = next(iter(baseline["metrics"]))
+        baseline["metrics"][name] *= 1.10
+        assert compare_baseline(baseline, payload)[0] == []
+        assert len(compare_baseline(baseline, payload, rtol=0.01)[0]) == 1
+
+    def test_missing_metric_is_a_regression(self, payload):
+        baseline = {
+            "schema": 1, "scale": payload["scale"], "rtol": 0.05,
+            "metrics": {"fig18.gone.metal.speedup": 2.0,
+                        **extract_key_metrics(payload)},
+        }
+        regressions, _ = compare_baseline(baseline, payload)
+        assert any("missing from run" in r for r in regressions)
+
+    def test_new_metric_is_a_note_not_a_regression(self, payload):
+        metrics = dict(extract_key_metrics(payload))
+        dropped = next(iter(metrics))
+        del metrics[dropped]
+        baseline = {"schema": 1, "scale": payload["scale"], "rtol": 0.05,
+                    "metrics": metrics}
+        regressions, notes = compare_baseline(baseline, payload)
+        assert regressions == []
+        assert any(dropped in note for note in notes)
+
+    def test_scale_mismatch_refused(self, payload):
+        baseline = {"schema": 1, "scale": 0.5, "rtol": 0.05,
+                    "metrics": extract_key_metrics(payload)}
+        regressions, _ = compare_baseline(baseline, payload)
+        assert len(regressions) == 1
+        assert "scale mismatch" in regressions[0]
+
+
+class TestMainExitCodes:
+    def test_round_trip_write_then_pass(self, tmp_path, capsys):
+        path = tmp_path / "b.json"
+        assert report_main(["--scale", str(SCALE), "--fast",
+                            "--baseline", str(path),
+                            "--write-baseline"]) == 0
+        assert report_main(["--scale", str(SCALE), "--fast",
+                            "--baseline", str(path)]) == 0
+        assert "baseline check passed" in capsys.readouterr().out
+
+    def test_missing_baseline_file_exit(self, tmp_path, capsys):
+        rc = report_main(["--scale", str(SCALE), "--fast",
+                          "--baseline", str(tmp_path / "nope.json")])
+        assert rc == EXIT_BASELINE_MISSING
+        assert "not found" in capsys.readouterr().err
+
+    def test_perturbed_baseline_exit(self, tmp_path, capsys):
+        path = tmp_path / "b.json"
+        report_main(["--scale", str(SCALE), "--fast",
+                     "--baseline", str(path), "--write-baseline"])
+        capsys.readouterr()
+        stored = json.loads(path.read_text())
+        name = next(k for k in stored["metrics"]
+                    if k.startswith("headline."))
+        stored["metrics"][name] *= 1.5
+        path.write_text(json.dumps(stored))
+        rc = report_main(["--scale", str(SCALE), "--fast",
+                          "--baseline", str(path)])
+        assert rc == EXIT_REGRESSION
+        err = capsys.readouterr().err
+        assert "regressed" in err and name in err
+
+    def test_write_baseline_requires_baseline_path(self):
+        with pytest.raises(SystemExit):
+            report_main(["--scale", str(SCALE), "--fast",
+                         "--write-baseline"])
+
+    def test_committed_baseline_matches_repo(self):
+        # The file CI gates on must self-compare cleanly at its scale.
+        with open("BENCH_baseline.json") as f:
+            baseline = json.load(f)
+        assert baseline["schema"] == 1
+        assert baseline["scale"] == 0.01
+        assert len(baseline["metrics"]) > 100

@@ -1,0 +1,118 @@
+"""Property-based invariants of the HDR-style streaming histogram.
+
+The histogram's contract, for any input sequence and precision:
+
+* percentiles are monotone: p50 <= p90 <= p99 <= max,
+* bucket counts sum to the number of observations,
+* every recorded value's bucket upper bound over-approximates it by at
+  most the configured relative error (2^-significant_bits),
+* merge is equivalent to recording the concatenation.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.obs.histogram import Histogram
+
+VALUES = st.lists(st.integers(0, 2**40), min_size=1, max_size=200)
+SIG_BITS = st.integers(0, 8)
+
+
+@settings(max_examples=200, deadline=None)
+@given(values=VALUES, sb=SIG_BITS)
+def test_percentiles_monotone(values, sb):
+    hist = Histogram.from_values(values, significant_bits=sb)
+    ps = [hist.percentile(p) for p in (0, 25, 50, 90, 99, 100)]
+    assert ps == sorted(ps)
+    assert ps[-1] == hist.max == max(values)
+    assert hist.percentile(0) >= hist.min or hist.percentile(0) >= 0
+
+
+@settings(max_examples=200, deadline=None)
+@given(values=VALUES, sb=SIG_BITS)
+def test_bucket_counts_sum_to_observations(values, sb):
+    hist = Histogram.from_values(values, significant_bits=sb)
+    buckets = list(hist.buckets())
+    assert hist.count == len(values)
+    # buckets() yields cumulative counts; the last equals the total.
+    assert buckets[-1][1] == len(values)
+    bounds = [bound for bound, _ in buckets]
+    assert bounds == sorted(bounds)
+
+
+@settings(max_examples=300, deadline=None)
+@given(value=st.integers(0, 2**62), sb=SIG_BITS)
+def test_bucket_bound_within_relative_error(value, sb):
+    hist = Histogram(significant_bits=sb)
+    bound = hist.bucket_bound(hist.bucket_index(value))
+    assert bound >= value
+    assert bound - value <= value * hist.max_relative_error
+
+
+@settings(max_examples=200, deadline=None)
+@given(value=st.integers(0, 2**62), sb=SIG_BITS)
+def test_bucket_index_is_monotone_nondecreasing(value, sb):
+    hist = Histogram(significant_bits=sb)
+    assert hist.bucket_index(value + 1) >= hist.bucket_index(value)
+
+
+@settings(max_examples=100, deadline=None)
+@given(left=VALUES, right=VALUES, sb=SIG_BITS)
+def test_merge_equals_concatenation(left, right, sb):
+    merged = Histogram.from_values(left, significant_bits=sb)
+    merged.merge(Histogram.from_values(right, significant_bits=sb))
+    direct = Histogram.from_values(left + right, significant_bits=sb)
+    assert merged.count == direct.count
+    assert merged.total == direct.total
+    assert merged.min == direct.min
+    assert merged.max == direct.max
+    assert list(merged.buckets()) == list(direct.buckets())
+    for p in (50, 90, 99):
+        assert merged.percentile(p) == direct.percentile(p)
+
+
+@settings(max_examples=100, deadline=None)
+@given(values=VALUES, sb=SIG_BITS)
+def test_percentile_within_error_of_exact(values, sb):
+    """The reported percentile over-approximates the exact one by at most
+    the relative error bound (and never exceeds the recorded max)."""
+    hist = Histogram.from_values(values, significant_bits=sb)
+    ordered = sorted(values)
+    for p in (50, 90, 99):
+        exact = ordered[max(0, -(-len(ordered) * p // 100) - 1)]
+        reported = hist.percentile(p)
+        assert reported >= exact
+        assert reported - exact <= exact * hist.max_relative_error
+        assert reported <= hist.max
+
+
+@settings(max_examples=100, deadline=None)
+@given(values=VALUES)
+def test_mean_and_total_exact(values):
+    # min/max/mean/total are tracked exactly, independent of bucketing.
+    hist = Histogram.from_values(values, significant_bits=2)
+    assert hist.total == sum(values)
+    assert hist.mean == sum(values) / len(values)
+    assert hist.min == min(values)
+    assert hist.max == max(values)
+
+
+def test_empty_histogram_defaults():
+    hist = Histogram()
+    assert hist.count == 0
+    assert hist.percentile(99) == 0
+    assert hist.mean == 0.0
+    assert list(hist.buckets()) == []
+    assert hist.to_dict()["count"] == 0
+
+
+def test_rejects_invalid_inputs():
+    import pytest
+
+    with pytest.raises(ValueError):
+        Histogram(significant_bits=17)
+    with pytest.raises(ValueError):
+        Histogram().record(-1)
+    with pytest.raises(ValueError):
+        Histogram().percentile(101)
+    with pytest.raises(ValueError):
+        Histogram(2).merge(Histogram(3))

@@ -1,0 +1,144 @@
+"""Exporter contracts: JSONL round-trip, Chrome schema, OpenMetrics.
+
+JSONL must round-trip every event field-for-field (it is the archival
+format offline tools re-parse); the Chrome export must be structurally
+valid ``trace_event`` JSON with balanced B/E pairs; the OpenMetrics
+exposition must follow the text format (typed families, cumulative
+``le`` buckets, ``# EOF`` terminator).
+"""
+
+import json
+import re
+from dataclasses import replace
+
+import pytest
+
+from repro.bench.runner import build_memsys
+from repro.obs.export import (
+    event_to_dict,
+    to_chrome_trace,
+    to_openmetrics,
+    write_chrome_trace,
+    write_jsonl,
+    write_openmetrics,
+)
+from repro.obs.histogram import Histogram
+from repro.sim.metrics import simulate
+from repro.workloads.suite import build_workload
+
+
+@pytest.fixture(scope="module")
+def run():
+    workload = build_workload("scan", scale=0.03, seed=0)
+    sim = replace(workload.config.sim_params(), trace=True)
+    memsys = build_memsys("metal", workload, sim=sim)
+    return simulate(memsys, workload.requests, sim, workload.total_index_blocks)
+
+
+class TestJsonlRoundTrip:
+    def test_every_event_field_survives(self, run, tmp_path):
+        path = tmp_path / "events.jsonl"
+        write_jsonl(run.tracer, str(path))
+        lines = path.read_text().splitlines()
+        events = list(run.tracer)
+        assert len(lines) == len(events)
+        for line, event in zip(lines, events):
+            parsed = json.loads(line)
+            # Field-for-field: the parsed object equals the flat view,
+            # and the flat view carries every source attribute and arg.
+            assert parsed == event_to_dict(event)
+            assert parsed["kind"] == event.kind
+            assert parsed["phase"] == event.phase
+            assert parsed["ts"] == event.ts
+            assert parsed["walk"] == event.walk
+            for key, value in event.args.items():
+                assert parsed[key] == value
+
+    def test_lines_have_sorted_keys(self, run, tmp_path):
+        path = tmp_path / "events.jsonl"
+        write_jsonl(run.tracer, str(path))
+        for line in path.read_text().splitlines()[:100]:
+            keys = list(json.loads(line))
+            assert keys == sorted(keys)
+
+
+class TestChromeTraceSchema:
+    def test_written_file_is_valid_trace_event_json(self, run, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(run.tracer, str(path), run.counters)
+        payload = json.loads(path.read_text())
+        assert isinstance(payload["traceEvents"], list)
+        assert payload["otherData"]["dropped_events"] == 0
+        assert payload["otherData"]["counters"] == dict(run.counters)
+        for record in payload["traceEvents"]:
+            assert record["ph"] in ("B", "E", "X", "i", "M")
+            assert isinstance(record["pid"], int)
+            assert isinstance(record["tid"], int)
+            if record["ph"] != "M":
+                assert record["ts"] >= 0
+            if record["ph"] == "X":
+                assert record["dur"] >= 0
+
+    def test_b_e_pairs_balanced_per_track(self, run):
+        payload = to_chrome_trace(run.tracer)
+        depth: dict[int, int] = {}
+        for record in payload["traceEvents"]:
+            if record["ph"] == "B":
+                depth[record["tid"]] = depth.get(record["tid"], 0) + 1
+            elif record["ph"] == "E":
+                depth[record["tid"]] = depth.get(record["tid"], 0) - 1
+                assert depth[record["tid"]] >= 0
+        assert all(balance == 0 for balance in depth.values())
+
+    def test_process_name_metadata_present(self, run):
+        payload = to_chrome_trace(run.tracer)
+        names = [r["args"]["name"] for r in payload["traceEvents"]
+                 if r["ph"] == "M"]
+        assert any("engine" in n for n in names)
+        assert any("dram" in n for n in names)
+
+
+class TestOpenMetrics:
+    def test_format_shape(self):
+        hist = Histogram.from_values([1, 5, 5, 300])
+        text = to_openmetrics(
+            counters={"dram.reads": 7, "ix.hit_rate": 0.5},
+            histograms={"walk_latency": hist},
+        )
+        lines = text.splitlines()
+        assert lines[-1] == "# EOF"
+        assert "# TYPE repro_dram_reads gauge" in lines
+        assert "repro_dram_reads 7" in lines
+        assert "repro_ix_hit_rate 0.5" in lines
+        assert "# TYPE repro_walk_latency histogram" in lines
+        assert 'repro_walk_latency_bucket{le="+Inf"} 4' in lines
+        assert "repro_walk_latency_count 4" in lines
+        assert "repro_walk_latency_sum 311" in lines
+
+    def test_bucket_counts_cumulative_and_ordered(self):
+        hist = Histogram.from_values([1, 2, 2, 1000, 50_000])
+        text = to_openmetrics(histograms={"h": hist})
+        buckets = re.findall(r'repro_h_bucket\{le="(\d+)"\} (\d+)', text)
+        bounds = [int(b) for b, _ in buckets]
+        counts = [int(c) for _, c in buckets]
+        assert bounds == sorted(bounds)
+        assert counts == sorted(counts)
+        assert counts[-1] == hist.count
+
+    def test_metric_name_sanitization(self):
+        text = to_openmetrics(counters={"ix.l2-cache/hits": 1, "0bad": 2})
+        assert "repro_ix_l2_cache_hits 1" in text
+        assert "repro_0bad 2" in text  # prefix keeps it letter-leading
+
+    def test_empty_snapshot_is_just_eof(self):
+        assert to_openmetrics() == "# EOF\n"
+
+    def test_write_openmetrics_end_to_end(self, run, tmp_path):
+        path = tmp_path / "run.om"
+        write_openmetrics(str(path), run.counters,
+                          {"walk_latency": run.latency_hist})
+        text = path.read_text()
+        assert text.endswith("# EOF\n")
+        # Spot-check a counter that must exist on a traced metal run.
+        assert re.search(r"^repro_engine_makespan \d+$", text, re.M)
+        assert f"repro_walk_latency_count {run.num_walks}" in text
