@@ -15,11 +15,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.bench.format import render_table
-from repro.bench.runner import build_memsys, run_workload
-from repro.params import CacheParams, IXCACHE_ENERGY_FJ
-from repro.sim.memsys import MetalMemSys
-from repro.sim.metrics import RunResult, simulate
+from repro.exec import Executor, RunSpec, default_executor
+from repro.sim.metrics import RunResult
 from repro.workloads.suite import Workload, build_workload
+
+
+def _ablation_workload(
+    workload: Workload | None, scale: float, executor: Executor,
+    default_name: str = "scan",
+) -> Workload:
+    """Resolve the prebuilt-or-default workload and donate it to workers."""
+    workload = workload or build_workload(default_name, scale=scale)
+    executor.seed_workloads([workload])
+    return workload
 
 
 # --------------------------------------------------------------------- #
@@ -30,20 +38,18 @@ def run_geometry_sweep(
     workload: Workload | None = None,
     ways_options: tuple[int, ...] = (1, 4, 8, 16, 32),
     scale: float = 0.25,
+    executor: Executor | None = None,
 ) -> dict[int, RunResult]:
-    workload = workload or build_workload("scan", scale=scale)
-    results = {}
-    for ways in ways_options:
-        params = CacheParams(
-            capacity_bytes=workload.default_cache_bytes,
-            ways=ways,
-            e_access=IXCACHE_ENERGY_FJ,
+    executor = executor or default_executor()
+    workload = _ablation_workload(workload, scale, executor)
+    specs = [
+        RunSpec.make(
+            workload.name, "metal", scale=workload.scale, seed=workload.seed,
+            cache_kwargs={"ways": ways},
         )
-        memsys = build_memsys("metal", workload, cache_params=params)
-        results[ways] = simulate(
-            memsys, workload.requests, memsys.sim, workload.total_index_blocks
-        )
-    return results
+        for ways in ways_options
+    ]
+    return dict(zip(ways_options, executor.run_results(specs)))
 
 
 def format_geometry(results: dict[int, RunResult]) -> str:
@@ -71,35 +77,35 @@ def run_shared_vs_private(
     workload: Workload | None = None,
     partitions: int = 4,
     scale: float = 0.25,
+    executor: Executor | None = None,
 ) -> SharedVsPrivate:
     """Same total capacity: one shared cache vs. per-tile-group slices.
 
     Private slices lose cooperative caching: a node cached by one tile
     group cannot short-circuit another group's walks.
     """
-    workload = workload or build_workload("scan", scale=scale)
-    shared = run_workload(workload, "metal")
+    executor = executor or default_executor()
+    workload = _ablation_workload(workload, scale, executor)
+    name, scale, seed = workload.name, workload.scale, workload.seed
 
     # Each private slice serves one tile group: 1/partitions of the tiles,
     # 1/partitions of the capacity, 1/partitions of the walks. Wall time is
     # the slowest group (they run concurrently).
     group_tiles = max(1, workload.config.tiles // partitions)
-    sim = workload.config.scaled(group_tiles).sim_params()
     slice_bytes = max(1024, workload.default_cache_bytes // partitions)
-    privates: list[MetalMemSys] = []
-    for _ in range(partitions):
-        memsys = build_memsys(
-            "metal", workload, sim=sim,
-            cache_params=CacheParams(
-                capacity_bytes=slice_bytes, e_access=IXCACHE_ENERGY_FJ
-            ),
+    specs = [RunSpec(workload=name, system="metal", scale=scale, seed=seed)]
+    specs.extend(
+        RunSpec(
+            workload=name, system="metal", scale=scale, seed=seed,
+            tiles=group_tiles, cache_bytes=slice_bytes,
+            requests_slice=(i, partitions),
         )
-        privates.append(memsys)
-    buckets = [workload.requests[i::partitions] for i in range(partitions)]
+        for i in range(partitions)
+    )
+    shared, *privates = executor.run_results(specs)
     makespan = 0
     hits = accesses = 0
-    for memsys, bucket in zip(privates, buckets):
-        run = simulate(memsys, bucket, sim, workload.total_index_blocks)
+    for run in privates:
         makespan = max(makespan, run.makespan)
         if run.cache_stats:
             hits += run.cache_stats.hits
@@ -136,33 +142,33 @@ class ToggleResult:
 
 
 def run_mechanism_toggles(
-    workload: Workload | None = None, scale: float = 0.25
+    workload: Workload | None = None, scale: float = 0.25,
+    executor: Executor | None = None,
 ) -> list[ToggleResult]:
-    workload = workload or build_workload("scan", scale=scale)
-    sim = workload.config.sim_params()
-    results = [ToggleResult("metal (default)", run_workload(workload, "metal"))]
-
-    # Case-3 coalescing off.
-    memsys = build_memsys("metal", workload, coalesce=False)
-    results.append(ToggleResult(
-        "no coalescing",
-        simulate(memsys, workload.requests, sim, workload.total_index_blocks),
-    ))
-
-    # Fully-associative IX-cache (no key-block sets).
-    memsys = build_memsys("metal", workload, associative=False)
-    results.append(ToggleResult(
-        "fully associative",
-        simulate(memsys, workload.requests, sim, workload.total_index_blocks),
-    ))
-
-    # Address baseline variants: flat, next-line prefetch, two-level.
-    results.append(ToggleResult("address", run_workload(workload, "address")))
-    results.append(ToggleResult("address + prefetch",
-                                run_workload(workload, "address_pf")))
-    results.append(ToggleResult("address L1+L2",
-                                run_workload(workload, "address_l2")))
-    return results
+    executor = executor or default_executor()
+    workload = _ablation_workload(workload, scale, executor)
+    base = dict(scale=workload.scale, seed=workload.seed)
+    cells = [
+        ("metal (default)",
+         RunSpec.make(workload.name, "metal", **base)),
+        # Case-3 coalescing off.
+        ("no coalescing",
+         RunSpec.make(workload.name, "metal", **base,
+                      memsys_kwargs={"coalesce": False})),
+        # Fully-associative IX-cache (no key-block sets).
+        ("fully associative",
+         RunSpec.make(workload.name, "metal", **base,
+                      memsys_kwargs={"associative": False})),
+        # Address baseline variants: flat, next-line prefetch, two-level.
+        ("address", RunSpec.make(workload.name, "address", **base)),
+        ("address + prefetch",
+         RunSpec.make(workload.name, "address_pf", **base)),
+        ("address L1+L2",
+         RunSpec.make(workload.name, "address_l2", **base)),
+    ]
+    folded = executor.run_results([spec for _, spec in cells])
+    return [ToggleResult(label, run)
+            for (label, _), run in zip(cells, folded)]
 
 
 def format_toggles(results: list[ToggleResult]) -> str:
@@ -179,21 +185,22 @@ def format_toggles(results: list[ToggleResult]) -> str:
 # --------------------------------------------------------------------- #
 
 def run_scheduling(
-    workload: Workload | None = None, scale: float = 0.25
+    workload: Workload | None = None, scale: float = 0.25,
+    executor: Executor | None = None,
 ) -> dict[str, RunResult]:
     """Request-reorder policies (repro.sim.scheduler) under METAL-IX."""
-    from repro.sim.scheduler import POLICIES, schedule
+    from repro.sim.scheduler import POLICIES
 
-    workload = workload or build_workload("scan", scale=scale)
-    sim = workload.config.sim_params()
-    results = {}
-    for policy in POLICIES:
-        memsys = build_memsys("metal_ix", workload)
-        ordered = schedule(workload.requests, policy)
-        results[policy] = simulate(
-            memsys, ordered, sim, workload.total_index_blocks
+    executor = executor or default_executor()
+    workload = _ablation_workload(workload, scale, executor)
+    specs = [
+        RunSpec(
+            workload=workload.name, system="metal_ix",
+            scale=workload.scale, seed=workload.seed, schedule=policy,
         )
-    return results
+        for policy in POLICIES
+    ]
+    return dict(zip(POLICIES, executor.run_results(specs)))
 
 
 def format_scheduling(results: dict[str, RunResult]) -> str:

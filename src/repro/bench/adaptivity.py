@@ -10,9 +10,8 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.bench.format import render_table
-from repro.bench.runner import build_memsys
-from repro.sim.metrics import simulate
-from repro.workloads.suite import Workload, build_workload
+from repro.exec import Executor, RunSpec, default_executor
+from repro.workloads.suite import Workload
 
 
 @dataclass
@@ -26,15 +25,28 @@ def run_adaptivity(
     scale: float = 0.25,
     num_windows: int = 10,
     prebuilt: Workload | None = None,
+    executor: Executor | None = None,
 ) -> AdaptivityResult:
-    workload = prebuilt or build_workload(workload_name, scale=scale)
-    batch = max(50, len(workload.requests) // num_windows)
-    memsys = build_memsys("metal", workload, batch_walks=batch, tune=True)
-    run = simulate(memsys, workload.requests, memsys.sim, workload.total_index_blocks)
+    executor = executor or default_executor()
+    if prebuilt is not None:
+        executor.seed_workloads([prebuilt])
+        scale, seed = prebuilt.scale, prebuilt.seed
+    else:
+        seed = 0
+    spec = RunSpec.make(
+        workload_name, "metal", scale=scale, seed=seed,
+        memsys_kwargs={"batch_windows": num_windows, "tune": True},
+        collect=("controller_history", "start_levels"),
+    )
+    outcome = executor.run([spec])[0]
+    run = outcome.require()
+    history = outcome.extras["controller_history"]
+    start_levels = outcome.extras["start_levels"]
+    batch = max(50, run.num_walks // num_windows)
     result = AdaptivityResult(workload_name)
-    for i, entry in enumerate(memsys.policy.controller.history):
+    for i, entry in enumerate(history):
         descriptor = entry["descriptors"][0]
-        window_levels = run.start_levels[i * batch : (i + 1) * batch]
+        window_levels = start_levels[i * batch : (i + 1) * batch]
         mean_start = (
             sum(window_levels) / len(window_levels) if window_levels else 0.0
         )

@@ -8,11 +8,11 @@ All normalized to the streaming DSA.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
 from repro.bench.format import render_table
-from repro.bench.runner import run_workload
-from repro.workloads.suite import PAPER_LABELS, Workload, build_workload
+from repro.exec import Executor, RunSpec, default_executor
+from repro.workloads.suite import PAPER_LABELS, Workload
 
 DEFAULT_WORKLOADS = (
     "scan", "sets", "spmm", "select", "where", "join", "rtree", "pagerank",
@@ -36,20 +36,34 @@ def run_breakdown(
     workloads: tuple[str, ...] = DEFAULT_WORKLOADS,
     scale: float = 0.25,
     prebuilt: dict[str, Workload] | None = None,
+    executor: Executor | None = None,
 ) -> list[BreakdownResult]:
-    results = []
+    executor = executor or default_executor()
+    executor.seed_workloads(prebuilt)
+    specs: list[RunSpec] = []
     for name in workloads:
-        workload = (prebuilt or {}).get(name) or build_workload(name, scale=scale)
-        base = run_workload(workload, "stream").makespan
-        ix = run_workload(workload, "metal_ix").makespan
-        patterns = run_workload(workload, "metal", tune=False).makespan
-        params = run_workload(workload, "metal", tune=True).makespan
+        workload = (prebuilt or {}).get(name)
+        cell_scale = workload.scale if workload is not None else scale
+        seed = workload.seed if workload is not None else 0
+        base = dict(workload=name, scale=cell_scale, seed=seed)
+        specs.append(RunSpec(system="stream", **base))
+        specs.append(RunSpec(system="metal_ix", **base))
+        specs.append(RunSpec.make(
+            system="metal", memsys_kwargs={"tune": False}, **base
+        ))
+        # tune=True is build_memsys's default: this cell dedups with the
+        # Fig. 18 metal cell instead of recomputing it.
+        specs.append(RunSpec(system="metal", **base))
+    folded = executor.run_results(specs)
+    results = []
+    for i, name in enumerate(workloads):
+        base_run, ix, patterns, params = folded[i * 4:(i + 1) * 4]
         results.append(
             BreakdownResult(
                 name,
-                ix=base / max(1, ix),
-                patterns=base / max(1, patterns),
-                params=base / max(1, params),
+                ix=base_run.makespan / max(1, ix.makespan),
+                patterns=base_run.makespan / max(1, patterns.makespan),
+                params=base_run.makespan / max(1, params.makespan),
             )
         )
     return results
@@ -78,6 +92,7 @@ def run_attribution(
     scale: float = 0.25,
     prebuilt: dict[str, Workload] | None = None,
     trace_buffer: int = 1 << 22,
+    executor: Executor | None = None,
 ) -> list[AttributionResult]:
     """Traced runs folded into per-component cycle attribution.
 
@@ -87,27 +102,34 @@ def run_attribution(
     Attribution is exact — per walk, the components sum to the measured
     walk latency — unless the ring buffer dropped events (``dropped``).
     """
-    from repro.obs.profile import build_profile
-
-    results = []
+    executor = executor or default_executor()
+    executor.seed_workloads(prebuilt)
+    specs: list[RunSpec] = []
+    cells: list[tuple[str, str]] = []
     for name in workloads:
-        workload = (prebuilt or {}).get(name) or build_workload(name, scale=scale)
-        sim = replace(
-            workload.config.sim_params(), trace=True, trace_buffer=trace_buffer
-        )
+        workload = (prebuilt or {}).get(name)
+        cell_scale = workload.scale if workload is not None else scale
+        seed = workload.seed if workload is not None else 0
         for system in systems:
-            run = run_workload(workload, system, sim=sim)
-            assert run.tracer is not None
-            profile = build_profile(run.tracer, strict=False)
-            results.append(
-                AttributionResult(
-                    workload=name,
-                    system=system,
-                    total_walk_cycles=run.total_walk_cycles,
-                    totals=dict(profile.totals),
-                    dropped=run.tracer.dropped,
-                )
+            cells.append((name, system))
+            specs.append(RunSpec.make(
+                name, system, scale=cell_scale, seed=seed,
+                sim_kwargs={"trace": True, "trace_buffer": trace_buffer},
+                collect=("attribution",),
+            ))
+    results = []
+    for (name, system), outcome in zip(cells, executor.run(specs)):
+        run = outcome.require()
+        attribution = outcome.extras["attribution"]
+        results.append(
+            AttributionResult(
+                workload=name,
+                system=system,
+                total_walk_cycles=run.total_walk_cycles,
+                totals=dict(attribution["totals"]),
+                dropped=attribution["dropped"],
             )
+        )
     return results
 
 

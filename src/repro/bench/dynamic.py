@@ -12,8 +12,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import Any
 
 from repro.bench.format import render_table
+from repro.exec import Executor, RunSpec, default_executor
 from repro.indexes.bplustree import BPlusTree
 from repro.params import CacheParams, IXCACHE_ENERGY_FJ, SimParams
 from repro.sim.engine import Engine, WalkTrace
@@ -31,6 +33,56 @@ class DynamicMixResult:
     invalidations_survived: bool
 
 
+def mix_cell(
+    kind: str,
+    num_records: int,
+    num_ops: int,
+    read_fraction: float,
+    cache_bytes: int,
+    seed: int,
+) -> dict[str, Any]:
+    """One (system, mix) cell: build a live B+tree, interleave, measure.
+
+    Runs worker-side (``repro.exec.worker`` dispatches ``op="dynamic_mix"``
+    here); returns a JSON-safe dict so the payload can be cached.
+    """
+    rng = random.Random(seed)
+    tree = BPlusTree.bulk_load(
+        [(k, k) for k in range(0, num_records * 2, 2)],
+        fanout=BPlusTree.fanout_for_depth(num_records, 9),
+    )
+    present = list(range(0, num_records * 2, 2))
+    pending = list(range(1, num_records * 2, 2))
+    rng.shuffle(pending)
+    lookup_keys = zipf_stream(len(present), num_ops, skew=0.8, seed=seed)
+
+    params = CacheParams(
+        capacity_bytes=cache_bytes,
+        e_access=IXCACHE_ENERGY_FJ if kind.startswith("metal") else 7_000.0,
+    )
+    memsys = make_memsys(kind, cache_params=params)
+    traces: list[WalkTrace] = []
+    ok = True
+    for i in range(num_ops):
+        if pending and rng.random() > read_fraction:
+            key = pending.pop()
+            tree.insert(key, key)
+            present.append(key)
+        key = present[lookup_keys[i % len(lookup_keys)] % len(present)]
+        traces.append(memsys.process_walk(tree, key))
+        if tree.get(key) != key:
+            ok = False
+    sim = SimParams()
+    engine = Engine(sim, DRAM(sim.dram))
+    timing = engine.run(traces)
+    return {
+        "makespan": timing.makespan,
+        "avg_walk_latency": timing.avg_walk_latency,
+        "dram_accesses": engine.dram.stats.accesses,
+        "invalidations_survived": ok,
+    }
+
+
 def run_dynamic_mix(
     num_records: int = 8_000,
     num_ops: int = 6_000,
@@ -38,48 +90,34 @@ def run_dynamic_mix(
     cache_bytes: int = 8 * 1024,
     seed: int = 0,
     kinds: tuple[str, ...] = ("stream", "address", "metal_ix"),
+    executor: Executor | None = None,
 ) -> list[DynamicMixResult]:
     """Interleave zipf lookups with inserts on a live B+tree."""
     if not 0.0 <= read_fraction <= 1.0:
         raise ValueError("read_fraction must be in [0, 1]")
+    executor = executor or default_executor()
+    specs = [
+        RunSpec.make(
+            "bptree_rw_mix", kind, scale=1.0, seed=seed, op="dynamic_mix",
+            cache_bytes=cache_bytes,
+            workload_kwargs={
+                "num_records": num_records,
+                "num_ops": num_ops,
+                "read_fraction": read_fraction,
+            },
+        )
+        for kind in kinds
+    ]
     results = []
-    for kind in kinds:
-        rng = random.Random(seed)
-        tree = BPlusTree.bulk_load(
-            [(k, k) for k in range(0, num_records * 2, 2)],
-            fanout=BPlusTree.fanout_for_depth(num_records, 9),
-        )
-        present = list(range(0, num_records * 2, 2))
-        pending = list(range(1, num_records * 2, 2))
-        rng.shuffle(pending)
-        lookup_keys = zipf_stream(len(present), num_ops, skew=0.8, seed=seed)
-
-        params = CacheParams(
-            capacity_bytes=cache_bytes,
-            e_access=IXCACHE_ENERGY_FJ if kind.startswith("metal") else 7_000.0,
-        )
-        memsys = make_memsys(kind, cache_params=params)
-        traces: list[WalkTrace] = []
-        ok = True
-        for i in range(num_ops):
-            if pending and rng.random() > read_fraction:
-                key = pending.pop()
-                tree.insert(key, key)
-                present.append(key)
-            key = present[lookup_keys[i % len(lookup_keys)] % len(present)]
-            traces.append(memsys.process_walk(tree, key))
-            if tree.get(key) != key:
-                ok = False
-        sim = SimParams()
-        engine = Engine(sim, DRAM(sim.dram))
-        timing = engine.run(traces)
+    for kind, outcome in zip(kinds, executor.run(specs)):
+        data = outcome.check().data
         results.append(
             DynamicMixResult(
                 system=kind,
-                makespan=timing.makespan,
-                avg_walk_latency=timing.avg_walk_latency,
-                dram_accesses=engine.dram.stats.accesses,
-                invalidations_survived=ok,
+                makespan=data["makespan"],
+                avg_walk_latency=data["avg_walk_latency"],
+                dram_accesses=data["dram_accesses"],
+                invalidations_survived=data["invalidations_survived"],
             )
         )
     return results

@@ -10,14 +10,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.bench.format import render_table
-from repro.bench.runner import SYSTEMS, compare_systems
+from repro.bench.runner import SYSTEMS
 from repro.core.energy_model import (
     CacheEnergyModel,
     COMPUTE_OP_ENERGY_FJ,
     WALKER_STEP_ENERGY_FJ,
 )
+from repro.exec import Executor, RunSpec, default_executor
 from repro.sim.metrics import RunResult
-from repro.workloads.suite import PAPER_LABELS, Workload, build_workload
+from repro.workloads.suite import PAPER_LABELS, WORKLOAD_CONFIGS, Workload
 
 DEFAULT_WORKLOADS = (
     "scan", "sets", "sets_s", "spmm", "spmm_s", "select", "where", "join",
@@ -64,14 +65,28 @@ def run_energy(
     workloads: tuple[str, ...] = DEFAULT_WORKLOADS,
     scale: float = 0.25,
     prebuilt: dict[str, Workload] | None = None,
+    executor: Executor | None = None,
 ) -> list[EnergyResult]:
-    results = []
+    executor = executor or default_executor()
+    executor.seed_workloads(prebuilt)
+    specs: list[RunSpec] = []
     for name in workloads:
-        workload = (prebuilt or {}).get(name) or build_workload(name, scale=scale)
-        runs = compare_systems(workload, kinds=SYSTEMS)
-        ops = sum(
-            workload.config.ops_per_compute for _ in workload.requests
+        workload = (prebuilt or {}).get(name)
+        cell_scale = workload.scale if workload is not None else scale
+        seed = workload.seed if workload is not None else 0
+        specs.extend(
+            RunSpec(workload=name, system=kind, scale=cell_scale, seed=seed)
+            for kind in SYSTEMS
         )
+    folded = executor.run_results(specs)
+    results = []
+    for i, name in enumerate(workloads):
+        workload = (prebuilt or {}).get(name)
+        config = workload.config if workload is not None else WORKLOAD_CONFIGS[name]
+        runs = dict(zip(SYSTEMS, folded[i * len(SYSTEMS):(i + 1) * len(SYSTEMS)]))
+        # One compute op bundle per walk (Table-2 intensity is uniform
+        # across a workload's requests).
+        ops = runs["stream"].num_walks * config.ops_per_compute
         results.append(EnergyResult(name, runs, compute_ops=ops))
     return results
 

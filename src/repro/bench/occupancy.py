@@ -11,9 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.bench.format import render_table
-from repro.bench.runner import build_memsys
-from repro.sim.metrics import simulate
-from repro.workloads.suite import PAPER_LABELS, Workload, build_workload
+from repro.exec import Executor, RunSpec, default_executor
+from repro.workloads.suite import PAPER_LABELS, Workload
 
 DEFAULT_WORKLOADS = ("scan", "spmm", "sets", "spmm_s")
 
@@ -29,16 +28,32 @@ def run_occupancy(
     workloads: tuple[str, ...] = DEFAULT_WORKLOADS,
     scale: float = 0.25,
     prebuilt: dict[str, Workload] | None = None,
+    executor: Executor | None = None,
 ) -> list[OccupancyResult]:
-    results = []
+    executor = executor or default_executor()
+    executor.seed_workloads(prebuilt)
+    kinds = ("metal_ix", "metal")
+    specs: list[RunSpec] = []
     for name in workloads:
-        workload = (prebuilt or {}).get(name) or build_workload(name, scale=scale)
-        entry = OccupancyResult(name, max(i.height for i in workload.indexes))
-        for kind in ("metal_ix", "metal"):
-            memsys = build_memsys(kind, workload)
-            simulate(memsys, workload.requests, memsys.sim, workload.total_index_blocks)
+        workload = (prebuilt or {}).get(name)
+        cell_scale = workload.scale if workload is not None else scale
+        seed = workload.seed if workload is not None else 0
+        for kind in kinds:
+            specs.append(RunSpec.make(
+                name, kind, scale=cell_scale, seed=seed,
+                collect=("occupancy_by_level", "index_heights"),
+            ))
+    outcomes = executor.run(specs)
+    results = []
+    for i, name in enumerate(workloads):
+        cell = outcomes[i * len(kinds):(i + 1) * len(kinds)]
+        for outcome in cell:
+            outcome.require()
+        entry = OccupancyResult(name, max(cell[0].extras["index_heights"]))
+        for kind, outcome in zip(kinds, cell):
+            occupancy = outcome.extras["occupancy_by_level"]
             entry.by_level[kind] = dict(
-                sorted(memsys.policy.cache.occupancy_by_level().items())
+                sorted((int(level), n) for level, n in occupancy.items())
             )
         results.append(entry)
     return results

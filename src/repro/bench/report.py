@@ -37,20 +37,28 @@ from repro.bench import adaptivity, breakdown, energy, occupancy, scaling
 from repro.bench import speedup as speedup_mod
 from repro.bench import summary as summary_mod
 from repro.bench import sweep, tables, tagmatch, trends
+from repro.exec import ExecError, Executor, ResultStore
 from repro.workloads.suite import WORKLOAD_BUILDERS, build_workload
 
 
 def generate_report(
     scale: float = 0.25, fast: bool = False,
     collect_json: dict | None = None,
+    executor: Executor | None = None,
 ) -> str:
     """Run the full harness; returns the text report.
 
     When ``collect_json`` is a dict, machine-readable figure data is
     stored into it (per-workload speedups, Table-3 ratios, per-run stats).
+
+    Cells are submitted through ``executor`` (an in-process serial one is
+    created when omitted); a failed cell turns its section into a failure
+    note — spec plus worker traceback — instead of killing the report.
     """
     sections: list[str] = []
     started = time.time()
+    own_executor = executor is None
+    executor = executor or Executor(jobs=1)
     prebuilt = {
         name: build_workload(name, scale=scale) for name in WORKLOAD_BUILDERS
     }
@@ -58,55 +66,101 @@ def generate_report(
     def add(title: str, body: str) -> None:
         sections.append(f"{'=' * 72}\n{title}\n{'=' * 72}\n{body}\n")
 
+    def guarded(block) -> None:
+        """Run one experiment block; render its failure instead of dying."""
+        try:
+            block()
+        except ExecError as exc:
+            add(f"{getattr(block, '__name__', 'section')} FAILED", str(exc))
+
     add("Fig. 7", tagmatch.format_fig7(tagmatch.run_tagmatch()))
     add("Table 2", tables.format_table2(list(prebuilt.values())))
 
-    trend_results = trends.run_trends(scale=scale, prebuilt=prebuilt)
-    add("Fig. 15", trends.format_fig15(trend_results))
-    add("Fig. 16", trends.format_fig16(trend_results))
-    add("Fig. 17", trends.format_fig17(trend_results))
+    def figs_15_17() -> None:
+        trend_results = trends.run_trends(
+            scale=scale, prebuilt=prebuilt, executor=executor)
+        add("Fig. 15", trends.format_fig15(trend_results))
+        add("Fig. 16", trends.format_fig16(trend_results))
+        add("Fig. 17", trends.format_fig17(trend_results))
 
-    speedup_results = speedup_mod.run_speedups(scale=scale, prebuilt=prebuilt)
-    add("Fig. 18", speedup_mod.format_fig18(speedup_results))
-    if collect_json is not None:
-        collect_json["scale"] = scale
-        collect_json["fig18"] = {
-            r.workload: {k: run.to_dict() for k, run in r.runs.items()}
-            for r in speedup_results
-        }
-        collect_json["headline"] = speedup_mod.headline_ratios(speedup_results)
+    def fig_18() -> None:
+        speedup_results = speedup_mod.run_speedups(
+            scale=scale, prebuilt=prebuilt, executor=executor)
+        add("Fig. 18", speedup_mod.format_fig18(speedup_results))
+        if collect_json is not None:
+            collect_json["fig18"] = {
+                r.workload: {k: run.to_dict() for k, run in r.runs.items()}
+                for r in speedup_results
+            }
+            collect_json["headline"] = speedup_mod.headline_ratios(
+                speedup_results)
 
-    energy_results = energy.run_energy(scale=scale, prebuilt=prebuilt)
-    add("Fig. 19", energy.format_fig19(energy_results))
-    add("Fig. 25", energy.format_fig25(energy_results))
+    def figs_19_25() -> None:
+        energy_results = energy.run_energy(
+            scale=scale, prebuilt=prebuilt, executor=executor)
+        add("Fig. 19", energy.format_fig19(energy_results))
+        add("Fig. 25", energy.format_fig25(energy_results))
 
-    add("Fig. 20", breakdown.format_fig20(
-        breakdown.run_breakdown(scale=scale, prebuilt=prebuilt)))
-    if not fast:
+    def fig_20() -> None:
+        add("Fig. 20", breakdown.format_fig20(
+            breakdown.run_breakdown(
+                scale=scale, prebuilt=prebuilt, executor=executor)))
+
+    def attribution() -> None:
         add("Cycle attribution", breakdown.format_attribution(
-            breakdown.run_attribution(scale=scale, prebuilt=prebuilt)))
-    add("Fig. 21", occupancy.format_fig21(
-        occupancy.run_occupancy(scale=scale, prebuilt=prebuilt)))
-    add("Fig. 22", adaptivity.format_fig22(
-        adaptivity.run_adaptivity(scale=scale, prebuilt=prebuilt.get("scan"))))
+            breakdown.run_attribution(
+                scale=scale, prebuilt=prebuilt, executor=executor)))
 
-    if not fast:
-        scaling_result = scaling.run_scaling()
+    def fig_21() -> None:
+        add("Fig. 21", occupancy.format_fig21(
+            occupancy.run_occupancy(
+                scale=scale, prebuilt=prebuilt, executor=executor)))
+
+    def fig_22() -> None:
+        add("Fig. 22", adaptivity.format_fig22(
+            adaptivity.run_adaptivity(
+                scale=scale, prebuilt=prebuilt.get("scan"),
+                executor=executor)))
+
+    def figs_23_24() -> None:
+        scaling_result = scaling.run_scaling(executor=executor)
         add("Fig. 23a", scaling.format_fig23a(scaling_result.records_sweep))
         add("Fig. 23b", scaling.format_fig23b(scaling_result.depth_sweep))
-        add("Fig. 24", sweep.format_fig24(sweep.run_sweep(scale=scale, prebuilt=prebuilt)))
+        add("Fig. 24", sweep.format_fig24(
+            sweep.run_sweep(scale=scale, prebuilt=prebuilt,
+                            executor=executor)))
 
-    table3 = summary_mod.run_summary(scale=scale)
-    add("Table 3", summary_mod.format_table3(table3))
+    def table_3() -> None:
+        table3 = summary_mod.run_summary(scale=scale, executor=executor)
+        add("Table 3", summary_mod.format_table3(table3))
+        if collect_json is not None:
+            collect_json["table3"] = {
+                "speedup": table3.ratios,
+                "energy": table3.energy_ratios,
+                "ix_only": table3.ix_only_ratios,
+                "pattern_gain": list(table3.pattern_gain),
+            }
+
     if collect_json is not None:
-        collect_json["table3"] = {
-            "speedup": table3.ratios,
-            "energy": table3.energy_ratios,
-            "ix_only": table3.ix_only_ratios,
-            "pattern_gain": list(table3.pattern_gain),
-        }
+        collect_json["scale"] = scale
+    try:
+        guarded(figs_15_17)
+        guarded(fig_18)
+        guarded(figs_19_25)
+        guarded(fig_20)
+        if not fast:
+            guarded(attribution)
+        guarded(fig_21)
+        guarded(fig_22)
+        if not fast:
+            guarded(figs_23_24)
+        guarded(table_3)
+    finally:
+        if own_executor:
+            executor.close()
 
     elapsed = time.time() - started
+    sections.append(executor.stats.summary(executor.jobs))
     sections.append(f"Report generated in {elapsed:.1f}s at scale {scale}.\n")
     return "\n".join(sections)
 
@@ -269,6 +323,15 @@ def main(argv: list[str] | None = None) -> int:
                         help="write machine-readable figure data to this file")
     parser.add_argument("--fast", action="store_true",
                         help="skip the slow Fig. 23/24 sweeps")
+    parser.add_argument("--jobs", type=str, default="1",
+                        help="worker processes for simulation cells: a "
+                             "number or 'auto' (all cores); 1 = in-process")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore the on-disk result cache and recompute "
+                             "every cell")
+    parser.add_argument("--cache-dir", type=str, default=None,
+                        help="result cache root (default: $REPRO_CACHE_DIR "
+                             "or .repro_cache)")
     parser.add_argument("--verify-trace-overhead", action="store_true",
                         help="only check the observability layer: identical "
                              "aggregates with tracing on/off + overhead %%")
@@ -287,8 +350,13 @@ def main(argv: list[str] | None = None) -> int:
     if args.write_baseline and not args.baseline:
         parser.error("--write-baseline requires --baseline FILE")
     payload: dict | None = {} if (args.json or args.baseline) else None
-    report = generate_report(scale=args.scale, fast=args.fast,
-                             collect_json=payload)
+    store = None
+    if not args.no_cache:
+        store = ResultStore(root=args.cache_dir)
+        store.prune_stale()
+    with Executor(jobs=args.jobs, store=store) as executor:
+        report = generate_report(scale=args.scale, fast=args.fast,
+                                 collect_json=payload, executor=executor)
     print(report)
     if args.out:
         with open(args.out, "w") as f:

@@ -11,9 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.bench.format import render_table
-from repro.bench.runner import compare_systems
+from repro.exec import Executor, RunSpec, default_executor
 from repro.sim.metrics import RunResult
-from repro.workloads.suite import build_workload
 
 DEFAULT_SCALES = (0.1, 0.25, 0.5)
 TRACKED = ("stream", "address", "xcache", "metal")
@@ -45,11 +44,18 @@ class ScalePoint:
 def run_scale_sensitivity(
     workload_name: str = "scan",
     scales: tuple[float, ...] = DEFAULT_SCALES,
+    executor: Executor | None = None,
 ) -> list[ScalePoint]:
+    executor = executor or default_executor()
+    specs = [
+        RunSpec(workload=workload_name, system=kind, scale=scale)
+        for scale in scales
+        for kind in TRACKED
+    ]
+    folded = executor.run_results(specs)
     points = []
-    for scale in scales:
-        workload = build_workload(workload_name, scale=scale)
-        runs = compare_systems(workload, kinds=TRACKED)
+    for i, scale in enumerate(scales):
+        runs = dict(zip(TRACKED, folded[i * len(TRACKED):(i + 1) * len(TRACKED)]))
         points.append(ScalePoint.from_runs(scale, runs))
     return points
 

@@ -11,8 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.bench.format import render_table
-from repro.bench.runner import run_workload
-from repro.workloads.suite import build_analytics_join
+from repro.exec import Executor, RunSpec, default_executor
+
+SCALING_SYSTEMS = ("metal_ix", "metal")
 
 
 @dataclass
@@ -26,17 +27,23 @@ class ScalingResult:
 def run_records_sweep(
     scales: tuple[float, ...] = (0.125, 0.25, 0.5),
     cache_sizes: tuple[int, ...] = (4 * 1024, 8 * 1024, 16 * 1024),
+    executor: Executor | None = None,
 ) -> dict[tuple[float, int], dict[str, float]]:
     """Fig. 23a: record count x cache size -> walk latency per system."""
+    executor = executor or default_executor()
+    specs = [
+        RunSpec(workload="join", system=kind, scale=scale, cache_bytes=cache_bytes)
+        for scale in scales
+        for cache_bytes in cache_sizes
+        for kind in SCALING_SYSTEMS
+    ]
+    folded = iter(executor.run_results(specs))
     cells: dict[tuple[float, int], dict[str, float]] = {}
     for scale in scales:
-        workload = build_analytics_join(scale=scale)
         for cache_bytes in cache_sizes:
-            cell = {}
-            for kind in ("metal_ix", "metal"):
-                run = run_workload(workload, kind, cache_bytes=cache_bytes)
-                cell[kind] = run.avg_walk_latency
-            cells[(scale, cache_bytes)] = cell
+            cells[(scale, cache_bytes)] = {
+                kind: next(folded).avg_walk_latency for kind in SCALING_SYSTEMS
+            }
     return cells
 
 
@@ -44,30 +51,43 @@ def run_depth_sweep(
     depths: tuple[int, ...] = (6, 9, 12, 15),
     scale: float = 0.25,
     cache_bytes: int = 8 * 1024,
+    executor: Executor | None = None,
 ) -> dict[int, dict[str, float]]:
     """Fig. 23b: index depth -> walk latency per system.
 
     Cells are keyed by the *built* inner-tree height (the depth target
     quantizes through the integer fan-out at reduced scale).
     """
+    executor = executor or default_executor()
+    specs = [
+        RunSpec.make(
+            "join", kind, scale=scale, cache_bytes=cache_bytes,
+            workload_kwargs={"depth": depth},
+            collect=("index_heights",),
+        )
+        for depth in depths
+        for kind in SCALING_SYSTEMS
+    ]
+    outcomes = iter(executor.run(specs))
     cells: dict[int, dict[str, float]] = {}
-    for depth in depths:
-        workload = build_analytics_join(scale=scale, depth=depth)
-        height = workload.indexes[0].height
+    for _depth in depths:
+        cell_outcomes = [next(outcomes) for _ in SCALING_SYSTEMS]
+        cell_outcomes[0].require()
+        # The inner tree is the first index; key by its built height.
+        height = cell_outcomes[0].extras["index_heights"][0]
         if height in cells:
             continue
-        cell = {}
-        for kind in ("metal_ix", "metal"):
-            run = run_workload(workload, kind, cache_bytes=cache_bytes)
-            cell[kind] = run.avg_walk_latency
-        cells[height] = cell
+        cells[height] = {
+            kind: outcome.require().avg_walk_latency
+            for kind, outcome in zip(SCALING_SYSTEMS, cell_outcomes)
+        }
     return cells
 
 
-def run_scaling(**kw) -> ScalingResult:
+def run_scaling(executor: Executor | None = None, **kw) -> ScalingResult:
     return ScalingResult(
-        records_sweep=run_records_sweep(),
-        depth_sweep=run_depth_sweep(),
+        records_sweep=run_records_sweep(executor=executor),
+        depth_sweep=run_depth_sweep(executor=executor),
     )
 
 

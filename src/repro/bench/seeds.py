@@ -11,8 +11,7 @@ import statistics
 from dataclasses import dataclass, field
 
 from repro.bench.format import render_table
-from repro.bench.runner import compare_systems
-from repro.workloads.suite import build_workload
+from repro.exec import Executor, RunSpec, default_executor
 
 DEFAULT_BASELINES = ("stream", "address", "xcache")
 
@@ -37,11 +36,19 @@ def run_seed_sweep(
     seeds: tuple[int, ...] = (0, 1, 2, 3),
     scale: float = 0.15,
     baselines: tuple[str, ...] = DEFAULT_BASELINES,
+    executor: Executor | None = None,
 ) -> SeedSweep:
+    executor = executor or default_executor()
+    kinds = (*baselines, "metal")
+    specs = [
+        RunSpec(workload=workload_name, system=kind, scale=scale, seed=seed)
+        for seed in seeds
+        for kind in kinds
+    ]
+    folded = executor.run_results(specs)
     sweep = SeedSweep(workload_name, seeds, {b: [] for b in baselines})
-    for seed in seeds:
-        workload = build_workload(workload_name, scale=scale, seed=seed)
-        runs = compare_systems(workload, kinds=(*baselines, "metal"))
+    for i, _seed in enumerate(seeds):
+        runs = dict(zip(kinds, folded[i * len(kinds):(i + 1) * len(kinds)]))
         metal = runs["metal"].makespan
         for baseline in baselines:
             sweep.ratios[baseline].append(

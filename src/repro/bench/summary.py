@@ -8,6 +8,7 @@ from dataclasses import dataclass
 
 from repro.bench.format import geomean, render_table
 from repro.bench.speedup import SpeedupResult, headline_ratios, run_speedups
+from repro.exec import Executor
 
 
 @dataclass
@@ -19,8 +20,10 @@ class SummaryResult:
     pattern_gain: tuple[float, float]
 
 
-def run_summary(scale: float = 0.25) -> SummaryResult:
-    speedups = run_speedups(scale=scale)
+def run_summary(
+    scale: float = 0.25, executor: Executor | None = None
+) -> SummaryResult:
+    speedups = run_speedups(scale=scale, executor=executor)
     ratios = headline_ratios(speedups)
 
     energy: dict[str, list[float]] = {"stream": [], "address": [], "xcache": []}

@@ -10,8 +10,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.bench.format import render_table
-from repro.bench.runner import run_workload
-from repro.workloads.suite import PAPER_LABELS, Workload, build_workload
+from repro.exec import Executor, RunSpec, default_executor
+from repro.workloads.suite import PAPER_LABELS, Workload
 
 DEFAULT_WORKLOADS = ("join", "spmm", "rtree")
 DEFAULT_TILES = (4, 8, 16, 32)
@@ -48,27 +48,48 @@ def run_sweep(
     scale: float = 0.25,
     base_tiles: int = 4,
     prebuilt: dict[str, Workload] | None = None,
+    executor: Executor | None = None,
 ) -> list[SweepCell]:
     """Normalized speedup grid; base = small-tile streaming DSA."""
-    cells = []
+    executor = executor or default_executor()
+    executor.seed_workloads(prebuilt)
+    specs: list[RunSpec] = []
+    grid: list[tuple[str, int, int]] = []
     for name in workloads:
-        workload = (prebuilt or {}).get(name) or build_workload(name, scale=scale)
-        base_sim = workload.config.scaled(base_tiles).sim_params()
-        base = run_workload(workload, "stream", sim=base_sim).makespan
+        workload = (prebuilt or {}).get(name)
+        cell_scale = workload.scale if workload is not None else scale
+        seed = workload.seed if workload is not None else 0
+        specs.append(RunSpec(
+            workload=name, system="stream", scale=cell_scale, seed=seed,
+            tiles=base_tiles,
+        ))
+        grid.append((name, base_tiles, 0))
         for tile_count in tiles:
-            sim = workload.config.scaled(tile_count).sim_params()
             for cache_bytes in caches:
-                run = run_workload(workload, "metal", cache_bytes=cache_bytes, sim=sim)
-                cells.append(
-                    SweepCell(
-                        workload=name,
-                        tiles=tile_count,
-                        cache_bytes=cache_bytes,
-                        speedup=base / max(1, run.makespan),
-                        bandwidth=run.bandwidth_utilization,
-                        miss_rate=run.miss_rate,
-                    )
+                specs.append(RunSpec(
+                    workload=name, system="metal", scale=cell_scale, seed=seed,
+                    tiles=tile_count, cache_bytes=cache_bytes,
+                ))
+                grid.append((name, tile_count, cache_bytes))
+    folded = executor.run_results(specs)
+    cells = []
+    stride = 1 + len(tiles) * len(caches)
+    for i, name in enumerate(workloads):
+        block = folded[i * stride:(i + 1) * stride]
+        base = block[0].makespan
+        for (cell_name, tile_count, cache_bytes), run in zip(
+            grid[i * stride + 1:(i + 1) * stride], block[1:]
+        ):
+            cells.append(
+                SweepCell(
+                    workload=cell_name,
+                    tiles=tile_count,
+                    cache_bytes=cache_bytes,
+                    speedup=base / max(1, run.makespan),
+                    bandwidth=run.bandwidth_utilization,
+                    miss_rate=run.miss_rate,
                 )
+            )
     return cells
 
 

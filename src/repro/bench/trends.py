@@ -11,9 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.bench.format import render_table
-from repro.bench.runner import run_workload
+from repro.exec import Executor, RunSpec, default_executor
 from repro.sim.metrics import RunResult
-from repro.workloads.suite import PAPER_LABELS, Workload, build_workload
+from repro.workloads.suite import PAPER_LABELS, Workload
 
 #: Organizations of Figs. 15-17, plus the 16x FA cache of Observation 6.
 TREND_SYSTEMS = ("fa_opt", "xcache", "metal_ix", "metal")
@@ -42,18 +42,34 @@ def run_trends(
     scale: float = 0.25,
     big_factor: int = 16,
     prebuilt: dict[str, Workload] | None = None,
+    executor: Executor | None = None,
 ) -> list[TrendResult]:
     """Run the Fig. 15-17 comparison; includes the big FA address cache."""
-    results = []
+    executor = executor or default_executor()
+    executor.seed_workloads(prebuilt)
+    cell_systems = (*TREND_SYSTEMS, "fa_big", "stream")
+    specs: list[RunSpec] = []
     for name in workloads:
-        workload = (prebuilt or {}).get(name) or build_workload(name, scale=scale)
-        trend = TrendResult(name)
+        workload = (prebuilt or {}).get(name)
+        cell_scale = workload.scale if workload is not None else scale
+        seed = workload.seed if workload is not None else 0
         for kind in TREND_SYSTEMS:
-            trend.runs[kind] = run_workload(workload, kind)
-        trend.runs["fa_big"] = run_workload(
-            workload, "fa_opt", cache_bytes=workload.default_cache_bytes * big_factor
+            specs.append(
+                RunSpec(workload=name, system=kind, scale=cell_scale, seed=seed)
+            )
+        specs.append(RunSpec(
+            workload=name, system="fa_opt", scale=cell_scale, seed=seed,
+            cache_factor=big_factor,
+        ))
+        specs.append(
+            RunSpec(workload=name, system="stream", scale=cell_scale, seed=seed)
         )
-        trend.runs["stream"] = run_workload(workload, "stream")
+    folded = executor.run_results(specs)
+    results = []
+    stride = len(cell_systems)
+    for i, name in enumerate(workloads):
+        trend = TrendResult(name)
+        trend.runs = dict(zip(cell_systems, folded[i * stride:(i + 1) * stride]))
         results.append(trend)
     return results
 

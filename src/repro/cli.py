@@ -23,7 +23,8 @@ import sys
 from dataclasses import replace
 
 from repro.bench.format import render_table
-from repro.bench.runner import SYSTEMS, compare_systems
+from repro.bench.runner import SYSTEMS
+from repro.exec import Executor, RunSpec
 from repro.workloads.suite import PAPER_LABELS, WORKLOAD_BUILDERS, build_workload
 
 #: Variant systems accepted everywhere SYSTEMS is, but excluded from the
@@ -82,11 +83,18 @@ def cmd_compare(args: argparse.Namespace) -> int:
         return 2
     workload = build_workload(args.workload, scale=args.scale, seed=args.seed)
     print(f"{workload.name}: {workload.notes}")
-    results = compare_systems(
-        workload, kinds=kinds,
-        cache_bytes=args.cache_kb * 1024 if args.cache_kb else None,
-        record_latencies=True,
-    )
+    specs = [
+        RunSpec(
+            workload=workload.name, system=kind, scale=workload.scale,
+            seed=workload.seed,
+            cache_bytes=args.cache_kb * 1024 if args.cache_kb else None,
+            record_latencies=True,
+        )
+        for kind in kinds
+    ]
+    with Executor(jobs=args.jobs) as executor:
+        executor.seed_workloads([workload])
+        results = dict(zip(kinds, executor.run_results(specs)))
     base = results.get("stream") or next(iter(results.values()))
     rows = []
     for name, run in results.items():
@@ -127,6 +135,11 @@ def cmd_report(args: argparse.Namespace) -> int:
         argv += ["--write-baseline"]
     if args.baseline_rtol is not None:
         argv += ["--baseline-rtol", str(args.baseline_rtol)]
+    argv += ["--jobs", str(args.jobs)]
+    if args.no_cache:
+        argv += ["--no-cache"]
+    if args.cache_dir:
+        argv += ["--cache-dir", args.cache_dir]
     return report_main(argv)
 
 
@@ -263,6 +276,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--systems", type=str, default=None,
                    help="comma-separated subset, e.g. stream,metal")
     p.add_argument("--cache-kb", type=int, default=None)
+    p.add_argument("--jobs", type=str, default="1",
+                   help="worker processes: a number or 'auto'")
     p.set_defaults(func=cmd_compare)
 
     p = sub.add_parser("report", help="regenerate every table and figure")
@@ -279,6 +294,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--baseline-rtol", type=float, default=None,
                    help="relative tolerance for baseline comparison "
                         "(default: the baseline file's stored tolerance)")
+    p.add_argument("--jobs", type=str, default="1",
+                   help="worker processes: a number or 'auto' (all cores)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="ignore the on-disk result cache")
+    p.add_argument("--cache-dir", type=str, default=None,
+                   help="result cache root (default: $REPRO_CACHE_DIR "
+                        "or .repro_cache)")
     p.set_defaults(func=cmd_report)
 
     p = sub.add_parser("ablation", help="design-choice ablations")

@@ -1,0 +1,32 @@
+"""Declarative run pipeline: spec one simulation, execute many, cache all.
+
+* :class:`RunSpec` — frozen, canonically-hashable description of a cell.
+* :class:`Executor` — batch submission with dedup, process-parallel
+  fan-out (``jobs``), and structured failure capture.
+* :class:`ResultStore` — content-addressed on-disk cache keyed by spec
+  digest + code version.
+"""
+
+from repro.exec.executor import (
+    ExecError,
+    ExecStats,
+    Executor,
+    RunOutcome,
+    default_executor,
+    resolve_jobs,
+)
+from repro.exec.spec import RunSpec, code_version
+from repro.exec.store import ResultStore, default_cache_dir
+
+__all__ = [
+    "ExecError",
+    "ExecStats",
+    "Executor",
+    "ResultStore",
+    "RunOutcome",
+    "RunSpec",
+    "code_version",
+    "default_cache_dir",
+    "default_executor",
+    "resolve_jobs",
+]

@@ -1,0 +1,143 @@
+"""RunSpec — a frozen, canonically-hashable description of one simulation.
+
+Every bench cell — one (workload, memory system) simulation with its
+overrides — is described declaratively instead of via ad-hoc kwargs
+plumbing. The spec serializes to a canonical JSON form whose SHA-256
+digest keys the on-disk result cache and the per-spec deterministic
+seeding, so two specs that mean the same run always hash the same
+(kwargs are stored as sorted tuples regardless of construction order).
+
+Only JSON scalars are allowed in override values: a spec must mean the
+same bytes on every machine and Python version.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+from dataclasses import dataclass, fields
+from pathlib import Path
+from typing import Any
+
+Scalar = (type(None), bool, int, float, str)
+
+KwargItems = tuple[tuple[str, Any], ...]
+
+
+def _freeze_kwargs(value: Any, label: str) -> KwargItems:
+    """Normalize a kwargs mapping (or item sequence) to sorted tuples."""
+    if value is None:
+        return ()
+    items = value.items() if isinstance(value, dict) else value
+    frozen = []
+    for key, val in items:
+        if not isinstance(key, str):
+            raise TypeError(f"{label} keys must be strings, got {key!r}")
+        if not isinstance(val, Scalar):
+            raise TypeError(
+                f"{label}[{key!r}] must be a JSON scalar, got {type(val).__name__}"
+            )
+        frozen.append((key, val))
+    frozen.sort()
+    return tuple(frozen)
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One simulation cell, ready to hash, ship to a worker, and cache.
+
+    ``op`` selects the worker routine: ``"run"`` is the standard
+    build-workload/build-memsys/simulate cell; ``"dynamic_mix"`` is the
+    mutating-index extension (bench.dynamic), where ``workload_kwargs``
+    carries the mix parameters instead of builder arguments.
+    """
+
+    workload: str
+    system: str
+    scale: float = 0.25
+    seed: int = 0
+    op: str = "run"
+    #: Explicit cache capacity; None = the workload's default.
+    cache_bytes: int | None = None
+    #: Multiplier on the (default or explicit) capacity (Fig. 15's 16x FA).
+    cache_factor: int | None = None
+    timed: bool = True
+    record_latencies: bool = False
+    #: Tile count override: SimParams come from config.scaled(tiles).
+    tiles: int | None = None
+    #: Walk-issue reorder policy (repro.sim.scheduler) applied to requests.
+    schedule: str | None = None
+    #: (offset, step): simulate requests[offset::step] (partition studies).
+    requests_slice: tuple[int, int] | None = None
+    #: Extra workload-builder kwargs (e.g. depth= for join).
+    workload_kwargs: KwargItems = ()
+    #: dataclasses.replace() overrides on the resolved SimParams.
+    sim_kwargs: KwargItems = ()
+    #: dataclasses.replace() overrides on the resolved CacheParams.
+    cache_kwargs: KwargItems = ()
+    #: build_memsys overrides (tune, batch_walks, coalesce, ...) plus the
+    #: virtual ``batch_windows`` (batch_walks from a window count).
+    memsys_kwargs: KwargItems = ()
+    #: Worker-side artifacts to ship back beside the RunResult (e.g.
+    #: "occupancy_by_level", "controller_history", "start_levels",
+    #: "attribution", "index_heights"). Part of the hash: a cached payload
+    #: must contain what the consumer asked for.
+    collect: tuple[str, ...] = ()
+
+    @classmethod
+    def make(cls, workload: str, system: str, **kwargs: Any) -> "RunSpec":
+        """Build a spec, normalizing mapping/sequence arguments.
+
+        Accepts dicts for the ``*_kwargs`` fields and any sequence for
+        ``requests_slice``/``collect``, so call sites stay readable while
+        the stored form is canonical.
+        """
+        for name in ("workload_kwargs", "sim_kwargs", "cache_kwargs",
+                     "memsys_kwargs"):
+            if name in kwargs:
+                kwargs[name] = _freeze_kwargs(kwargs[name], name)
+        if kwargs.get("requests_slice") is not None:
+            offset, step = kwargs["requests_slice"]
+            kwargs["requests_slice"] = (int(offset), int(step))
+        if "collect" in kwargs:
+            kwargs["collect"] = tuple(kwargs["collect"])
+        return cls(workload=workload, system=system, **kwargs)
+
+    def canonical(self) -> str:
+        """Stable JSON text: same meaning => same bytes => same digest."""
+        return json.dumps(
+            {f.name: getattr(self, f.name) for f in fields(self)},
+            sort_keys=True, separators=(",", ":"),
+        )
+
+    def canonical_dict(self) -> dict[str, Any]:
+        """The canonical form as plain JSON data (tuples become lists)."""
+        return json.loads(self.canonical())
+
+    def digest(self) -> str:
+        return hashlib.sha256(self.canonical().encode()).hexdigest()
+
+    def label(self) -> str:
+        """Short human-readable tag for failure reports and logs."""
+        return f"{self.workload}/{self.system}@{self.scale:g}s{self.seed}"
+
+
+@functools.lru_cache(maxsize=1)
+def code_version() -> str:
+    """SHA-256 over every .py source of the repro package.
+
+    Cached results are only valid for the code that produced them; any
+    source edit — not just to the touched modules, simulation behaviour
+    is cross-cutting — moves the store to a fresh namespace.
+    """
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()

@@ -1,0 +1,185 @@
+"""Worker-side execution of one RunSpec.
+
+This module is the only code that turns a spec back into live objects —
+workload, memory system, simulation — and it runs identically in-process
+(``jobs=1``) and inside a ``ProcessPoolExecutor`` worker. The returned
+payload is always round-tripped through JSON before anyone reads it, so
+the serial path, the parallel path, and the warm-cache path hand the
+caller byte-identical data: parallelism and caching cannot change a
+single reported number.
+
+Workloads are built worker-side from the spec (registry name + scale +
+seed + builder kwargs) and memoized per process with a small LRU;
+:func:`seed_workload` lets a caller that already built a workload (the
+report's Table-2 prebuilds, test fixtures) donate it to the in-process
+memo. With a forked pool the memo is inherited copy-on-write.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from collections import OrderedDict
+from dataclasses import replace
+from typing import Any
+
+from repro.bench.runner import build_memsys, cache_params_for
+from repro.exec.spec import RunSpec
+from repro.sim.metrics import RunResult, simulate
+from repro.workloads.suite import Workload, build_workload
+
+#: Per-process workload memo: big index structures dominate build time,
+#: and a report's specs revisit the same few (name, scale, seed) keys.
+_WORKLOAD_MEMO: OrderedDict[tuple, Workload] = OrderedDict()
+_MEMO_LIMIT = 16
+
+
+def _memo_key(name: str, scale: float, seed: int,
+              kwargs: tuple = ()) -> tuple:
+    return (name, scale, seed, kwargs)
+
+
+def seed_workload(workload: Workload) -> None:
+    """Donate an already-built registry workload to the in-process memo.
+
+    Keyed by the scale/seed stamped by ``build_workload`` — only donate
+    workloads built through the registry with default builder kwargs.
+    """
+    _remember(_memo_key(workload.name, workload.scale, workload.seed), workload)
+
+
+def clear_workload_memo() -> None:
+    """Forget memoized workloads (tests use this to force fresh builds)."""
+    _WORKLOAD_MEMO.clear()
+
+
+def _remember(key: tuple, workload: Workload) -> None:
+    _WORKLOAD_MEMO[key] = workload
+    _WORKLOAD_MEMO.move_to_end(key)
+    while len(_WORKLOAD_MEMO) > _MEMO_LIMIT:
+        _WORKLOAD_MEMO.popitem(last=False)
+
+
+def _get_workload(spec: RunSpec) -> Workload:
+    key = _memo_key(spec.workload, spec.scale, spec.seed, spec.workload_kwargs)
+    workload = _WORKLOAD_MEMO.get(key)
+    if workload is None:
+        workload = build_workload(
+            spec.workload, scale=spec.scale, seed=spec.seed,
+            **dict(spec.workload_kwargs),
+        )
+        _remember(key, workload)
+    else:
+        _WORKLOAD_MEMO.move_to_end(key)
+    return workload
+
+
+def _collect_extras(
+    spec: RunSpec, workload: Workload, memsys: Any, result: RunResult
+) -> dict[str, Any]:
+    extras: dict[str, Any] = {}
+    for key in spec.collect:
+        if key == "occupancy_by_level":
+            occupancy = memsys.policy.cache.occupancy_by_level()
+            extras[key] = {str(level): n for level, n in occupancy.items()}
+        elif key == "controller_history":
+            extras[key] = list(memsys.policy.controller.history)
+        elif key == "start_levels":
+            extras[key] = list(result.start_levels)
+        elif key == "index_heights":
+            extras[key] = [index.height for index in workload.indexes]
+        elif key == "attribution":
+            from repro.obs.profile import build_profile
+
+            assert result.tracer is not None, "attribution needs sim.trace"
+            profile = build_profile(result.tracer, strict=False)
+            extras[key] = {
+                "totals": dict(profile.totals),
+                "dropped": result.tracer.dropped,
+            }
+        else:
+            raise ValueError(f"unknown collect key {key!r}")
+    return extras
+
+
+def _execute_run(spec: RunSpec) -> dict[str, Any]:
+    workload = _get_workload(spec)
+    config = workload.config
+    sim = (config.scaled(spec.tiles) if spec.tiles else config).sim_params()
+    if spec.sim_kwargs:
+        sim = replace(sim, **dict(spec.sim_kwargs))
+    cache_bytes = spec.cache_bytes or workload.default_cache_bytes
+    if spec.cache_factor:
+        cache_bytes *= spec.cache_factor
+
+    requests = workload.requests
+    if spec.requests_slice is not None:
+        offset, step = spec.requests_slice
+        requests = requests[offset::step]
+    if spec.schedule is not None:
+        from repro.sim.scheduler import schedule
+
+        requests = schedule(requests, spec.schedule)
+
+    overrides = dict(spec.memsys_kwargs)
+    tune = overrides.pop("tune", True)
+    batch_walks = overrides.pop("batch_walks", None)
+    batch_windows = overrides.pop("batch_windows", None)
+    if batch_windows:
+        # bench.adaptivity's window sizing, from the effective request count.
+        batch_walks = max(50, len(requests) // batch_windows)
+    if spec.cache_kwargs:
+        overrides["cache_params"] = replace(
+            cache_params_for(spec.system, cache_bytes), **dict(spec.cache_kwargs)
+        )
+    if spec.system == "fa_opt" and requests is not workload.requests:
+        # FA-OPT's two-pass construction must see the effective sequence.
+        overrides["requests"] = [(r.index, r.key) for r in requests]
+
+    memsys = build_memsys(
+        spec.system, workload, cache_bytes, sim,
+        tune=tune, batch_walks=batch_walks, **overrides,
+    )
+    result = simulate(
+        memsys, requests, sim, workload.total_index_blocks,
+        timed=spec.timed, record_latencies=spec.record_latencies,
+    )
+    return {
+        "op": "run",
+        "result": result.to_dict(),
+        "extras": _collect_extras(spec, workload, memsys, result),
+    }
+
+
+def _execute_dynamic_mix(spec: RunSpec) -> dict[str, Any]:
+    from repro.bench.dynamic import mix_cell
+
+    kwargs = dict(spec.workload_kwargs)
+    data = mix_cell(
+        kind=spec.system,
+        num_records=kwargs["num_records"],
+        num_ops=kwargs["num_ops"],
+        read_fraction=kwargs["read_fraction"],
+        cache_bytes=spec.cache_bytes or 8 * 1024,
+        seed=spec.seed,
+    )
+    return {"op": "dynamic_mix", "data": data, "extras": {}}
+
+
+def execute_spec(spec: RunSpec) -> dict[str, Any]:
+    """Run one spec and return its JSON-normalized payload.
+
+    Seeds the module-level RNG from the spec digest first: any stray
+    ``random`` use downstream is deterministic per spec, independent of
+    which worker runs it or what ran before.
+    """
+    random.seed(int(spec.digest()[:16], 16))
+    if spec.op == "run":
+        payload = _execute_run(spec)
+    elif spec.op == "dynamic_mix":
+        payload = _execute_dynamic_mix(spec)
+    else:
+        raise ValueError(f"unknown spec op {spec.op!r}")
+    # Normalize through JSON so live, pooled, and cached results are
+    # byte-identical (tuples -> lists, int keys -> str keys, etc.).
+    return json.loads(json.dumps(payload))

@@ -160,6 +160,37 @@ class Histogram:
             "p99": self.percentile(99),
         }
 
+    def state(self) -> dict:
+        """Exact internal state, losslessly invertible by :meth:`from_state`.
+
+        ``total`` must be stored explicitly: bucketization quantizes values,
+        so it cannot be recomputed from the counts. Counts are sparse
+        ``[index, n]`` pairs — most buckets of a latency histogram are empty.
+        """
+        return {
+            "sb": self.significant_bits,
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "counts": [[i, n] for i, n in enumerate(self._counts) if n],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "Histogram":
+        """Rebuild a histogram from :meth:`state` output (JSON round-trip safe)."""
+        hist = cls(int(state["sb"]))
+        pairs = [(int(i), int(n)) for i, n in state["counts"]]
+        if pairs:
+            hist._counts = [0] * (max(i for i, _ in pairs) + 1)
+            for i, n in pairs:
+                hist._counts[i] = n
+        hist.count = int(state["count"])
+        hist.total = int(state["total"])
+        hist.min = int(state["min"])
+        hist.max = int(state["max"])
+        return hist
+
     def __len__(self) -> int:
         return self.count
 

@@ -179,7 +179,9 @@ class Engine:
         result.makespan = makespan
         return result
 
-    def run_functional(self, traces: list[WalkTrace]) -> EngineResult:
+    def run_functional(
+        self, traces: list[WalkTrace], record_latencies: bool = False
+    ) -> EngineResult:
         """Untimed pass: nominal latencies, full traffic/energy accounting.
 
         Cheap mode for miss-rate / working-set experiments that do not need
@@ -203,6 +205,8 @@ class Engine:
                 else:
                     latency += access.cycles
             result.total_walk_cycles += latency
+            if record_latencies:
+                result.walk_latencies.append(latency)
             busy += latency
         result.makespan = max(1, busy // self.contexts)
         return result

@@ -134,6 +134,8 @@ class RunResult:
             "nodes_visited": self.nodes_visited,
             "dram": {
                 "accesses": self.dram.accesses,
+                "reads": self.dram.reads,
+                "writes": self.dram.writes,
                 "energy_fj": self.dram.energy_fj,
                 "bytes_moved": self.dram.bytes_moved,
                 "row_hits": self.dram.row_hits,
@@ -153,18 +155,84 @@ class RunResult:
             ),
             "index_dram_accesses": self.index_dram_accesses,
             "bandwidth_utilization": self.bandwidth_utilization,
+            "total_walk_cycles": self.total_walk_cycles,
+            "total_index_blocks": self.total_index_blocks,
+            "baseline_index_accesses": self.baseline_index_accesses,
+            "windowed_working_set": self.windowed_working_set,
             **(
-                {"latency": self.latency_hist.to_dict()}
+                {"latency": {**self.latency_hist.to_dict(),
+                             "state": self.latency_hist.state()}}
                 if self.latency_hist is not None and self.latency_hist.count
                 else {}
             ),
             **(
-                {"probe_depth": self.depth_hist.to_dict()}
+                {"probe_depth": {**self.depth_hist.to_dict(),
+                                 "state": self.depth_hist.state()}}
                 if self.depth_hist is not None and self.depth_hist.count
                 else {}
             ),
             **({"counters": self.counters} if self.counters is not None else {}),
         }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "RunResult":
+        """Inverse of :meth:`to_dict` (JSON round-trip safe).
+
+        Derived quantities (``avg_walk_latency``, ``miss_rate``,
+        ``working_set_fraction``, histogram percentiles) are recomputed
+        from the restored state, so ``from_dict(d).to_dict() == d`` holds
+        byte-for-byte. Raw per-walk lists (``walk_latencies``,
+        ``start_levels``) and the live tracer do not survive serialization;
+        the latency distribution survives via the histogram state.
+        """
+        dram_d = data["dram"]
+        dram = DRAMStats(
+            reads=dram_d["reads"],
+            writes=dram_d["writes"],
+            row_hits=dram_d["row_hits"],
+            row_misses=dram_d["row_misses"],
+            energy_fj=dram_d["energy_fj"],
+            bytes_moved=dram_d["bytes_moved"],
+        )
+        cache_d = data.get("cache")
+        cache = (
+            CacheStats(
+                accesses=cache_d["accesses"],
+                hits=cache_d["hits"],
+                misses=cache_d["misses"],
+                insertions=cache_d["insertions"],
+                evictions=cache_d["evictions"],
+                bypasses=cache_d["bypasses"],
+            )
+            if cache_d is not None
+            else None
+        )
+        latency_d = data.get("latency")
+        depth_d = data.get("probe_depth")
+        counters = data.get("counters")
+        return cls(
+            name=data["system"],
+            makespan=data["makespan"],
+            num_walks=data["num_walks"],
+            total_walk_cycles=data["total_walk_cycles"],
+            dram=dram,
+            cache_stats=cache,
+            total_index_blocks=data["total_index_blocks"],
+            short_circuited=data["short_circuited"],
+            full_hits=data["full_hits"],
+            nodes_visited=data["nodes_visited"],
+            bandwidth_utilization=data["bandwidth_utilization"],
+            windowed_working_set=data["windowed_working_set"],
+            index_dram_accesses=data["index_dram_accesses"],
+            baseline_index_accesses=data["baseline_index_accesses"],
+            counters=dict(counters) if counters is not None else None,
+            latency_hist=(
+                Histogram.from_state(latency_d["state"]) if latency_d else None
+            ),
+            depth_hist=(
+                Histogram.from_state(depth_d["state"]) if depth_d else None
+            ),
+        )
 
 
 def _windowed_working_set(
@@ -276,7 +344,7 @@ def simulate(
     if timed:
         result = engine.run(traces, record_latencies=record_latencies)
     else:
-        result = engine.run_functional(traces)
+        result = engine.run_functional(traces, record_latencies=record_latencies)
     latency_hist = (
         Histogram.from_values(result.walk_latencies)
         if result.walk_latencies else None

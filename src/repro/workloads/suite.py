@@ -77,6 +77,13 @@ class Workload:
     #: from the key universe so mid-level nodes stay set-resident.
     ix_key_block_bits: int | None = None
     notes: str = ""
+    #: Build provenance, stamped by :func:`build_workload` — lets the run
+    #: pipeline reconstruct this workload in a worker process from its
+    #: registry name alone. Workloads built by calling a ``build_*``
+    #: function directly carry the defaults (1.0, 0) only if those were
+    #: the arguments actually used.
+    scale: float = 1.0
+    seed: int = 0
     _blocks: int | None = field(default=None, repr=False)
 
     @property
@@ -440,15 +447,32 @@ def build_pagerank(scale: float = 1.0, seed: int = 0) -> Workload:
 
 WORKLOAD_BUILDERS: dict[str, Callable[..., Workload]] = {
     "scan": build_scan,
-    "sets": lambda scale=1.0, seed=0: build_sets(scale, seed, deep=True),
-    "sets_s": lambda scale=1.0, seed=0: build_sets(scale, seed, deep=False),
-    "spmm": lambda scale=1.0, seed=0: build_spmm(scale, seed, deep=True),
-    "spmm_s": lambda scale=1.0, seed=0: build_spmm(scale, seed, deep=False),
+    "sets": lambda scale=1.0, seed=0, **kw: build_sets(scale, seed, deep=True, **kw),
+    "sets_s": lambda scale=1.0, seed=0, **kw: build_sets(scale, seed, deep=False, **kw),
+    "spmm": lambda scale=1.0, seed=0, **kw: build_spmm(scale, seed, deep=True, **kw),
+    "spmm_s": lambda scale=1.0, seed=0, **kw: build_spmm(scale, seed, deep=False, **kw),
     "select": build_analytics_select,
     "where": build_analytics_where,
     "join": build_analytics_join,
     "rtree": build_rtree,
     "pagerank": build_pagerank,
+}
+
+#: Each workload's DSAConfig without building the workload — the run
+#: pipeline needs Table-2 intensities (ops/compute, tile counts) for
+#: energy folds and tile-scaled SimParams before any worker has built
+#: the index structures.
+WORKLOAD_CONFIGS: dict[str, DSAConfig] = {
+    "scan": SCAN_CONFIG,
+    "sets": SETS_CONFIG,
+    "sets_s": SETS_CONFIG,
+    "spmm": SPMM_CONFIG,
+    "spmm_s": SPMM_CONFIG,
+    "select": ANALYTICS_CONFIG,
+    "where": ANALYTICS_CONFIG,
+    "join": ANALYTICS_CONFIG,
+    "rtree": RTREE_CONFIG,
+    "pagerank": PAGERANK_CONFIG,
 }
 
 #: Fig. 18's x-axis labels for each workload key.
@@ -466,12 +490,22 @@ PAPER_LABELS = {
 }
 
 
-def build_workload(name: str, scale: float = 1.0, seed: int = 0) -> Workload:
-    """Build a Table-2 workload by its registry name."""
+def build_workload(
+    name: str, scale: float = 1.0, seed: int = 0, **kwargs: Any
+) -> Workload:
+    """Build a Table-2 workload by its registry name.
+
+    Extra ``kwargs`` go to the builder (e.g. ``depth=...`` for ``join``).
+    The built workload is stamped with its ``scale``/``seed`` so the run
+    pipeline can rebuild an identical copy in a worker process.
+    """
     try:
         builder = WORKLOAD_BUILDERS[name]
     except KeyError:
         raise ValueError(
             f"unknown workload {name!r}; choose from {sorted(WORKLOAD_BUILDERS)}"
         ) from None
-    return builder(scale=scale, seed=seed)
+    workload = builder(scale=scale, seed=seed, **kwargs)
+    workload.scale = scale
+    workload.seed = seed
+    return workload

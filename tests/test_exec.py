@@ -1,0 +1,262 @@
+"""Run-pipeline tests: RunSpec hashing, executor semantics, result cache,
+serialization round-trips, and serial/parallel/cached byte-identity.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.runner import SYSTEMS, build_memsys
+from repro.exec import (
+    ExecError,
+    Executor,
+    ResultStore,
+    RunSpec,
+    code_version,
+    resolve_jobs,
+)
+from repro.exec.worker import clear_workload_memo, execute_spec
+from repro.sim.metrics import RunResult, simulate
+from repro.workloads.suite import build_workload
+
+SMALL = 0.02
+
+
+# --------------------------------------------------------------------- #
+# RunSpec
+# --------------------------------------------------------------------- #
+
+def test_spec_digest_stable_across_kwarg_order():
+    a = RunSpec.make("scan", "metal", scale=SMALL,
+                     memsys_kwargs={"tune": False, "batch_walks": 100})
+    b = RunSpec.make("scan", "metal", scale=SMALL,
+                     memsys_kwargs={"batch_walks": 100, "tune": False})
+    assert a == b
+    assert a.digest() == b.digest()
+    assert a.canonical() == b.canonical()
+
+
+def test_spec_digest_distinguishes_fields():
+    base = RunSpec.make("scan", "metal", scale=SMALL)
+    assert base.digest() != RunSpec.make("scan", "xcache", scale=SMALL).digest()
+    assert base.digest() != RunSpec.make("scan", "metal", scale=SMALL,
+                                         seed=1).digest()
+    assert base.digest() != RunSpec.make("scan", "metal", scale=SMALL,
+                                         cache_bytes=4096).digest()
+
+
+def test_spec_is_hashable_and_frozen():
+    spec = RunSpec.make("scan", "metal", scale=SMALL)
+    assert spec in {spec}
+    with pytest.raises(AttributeError):
+        spec.system = "stream"
+
+
+def test_spec_rejects_non_scalar_kwargs():
+    with pytest.raises(TypeError):
+        RunSpec.make("scan", "metal", memsys_kwargs={"bad": [1, 2]})
+
+
+def test_code_version_is_hex_and_cached():
+    version = code_version()
+    assert len(version) == 64
+    int(version, 16)
+    assert code_version() == version
+
+
+def test_resolve_jobs():
+    assert resolve_jobs(1) == 1
+    assert resolve_jobs("3") == 3
+    assert resolve_jobs("auto") >= 1
+    with pytest.raises(ValueError):
+        resolve_jobs(0)
+
+
+# --------------------------------------------------------------------- #
+# RunResult round-trip (satellite: from_dict inverse of to_dict)
+# --------------------------------------------------------------------- #
+
+@pytest.mark.parametrize("kind", SYSTEMS)
+def test_runresult_roundtrip_byte_identical(kind):
+    workload = build_workload("scan", scale=SMALL)
+    memsys = build_memsys(kind, workload)
+    result = simulate(
+        memsys, workload.requests, memsys.sim, workload.total_index_blocks,
+        record_latencies=True,
+    )
+    first = result.to_dict()
+    wire = json.loads(json.dumps(first))
+    second = RunResult.from_dict(wire).to_dict()
+    assert json.dumps(first, sort_keys=True) == json.dumps(second, sort_keys=True)
+
+
+def test_runresult_roundtrip_preserves_histograms():
+    workload = build_workload("scan", scale=SMALL)
+    memsys = build_memsys("metal", workload)
+    result = simulate(
+        memsys, workload.requests, memsys.sim, workload.total_index_blocks,
+        record_latencies=True,
+    )
+    restored = RunResult.from_dict(json.loads(json.dumps(result.to_dict())))
+    assert restored.latency_hist is not None
+    assert restored.latency_hist.count == result.latency_hist.count
+    assert restored.latency_hist.percentile(99) == result.latency_hist.percentile(99)
+    assert restored.depth_hist is not None
+    assert restored.depth_hist.max == result.depth_hist.max
+
+
+# --------------------------------------------------------------------- #
+# Engine functional path (satellite: record_latencies honored)
+# --------------------------------------------------------------------- #
+
+def test_run_functional_records_latencies():
+    workload = build_workload("scan", scale=SMALL)
+    memsys = build_memsys("stream", workload)
+    result = simulate(
+        memsys, workload.requests, memsys.sim, workload.total_index_blocks,
+        timed=False, record_latencies=True,
+    )
+    assert len(result.walk_latencies) == len(workload.requests)
+    assert result.latency_hist is not None
+    assert result.latency_hist.count == len(workload.requests)
+
+
+def test_run_functional_skips_latencies_by_default():
+    workload = build_workload("scan", scale=SMALL)
+    memsys = build_memsys("stream", workload)
+    result = simulate(
+        memsys, workload.requests, memsys.sim, workload.total_index_blocks,
+        timed=False,
+    )
+    assert result.walk_latencies == []
+
+
+# --------------------------------------------------------------------- #
+# Executor: dedup, failure capture, parallel equivalence
+# --------------------------------------------------------------------- #
+
+def test_executor_dedups_within_and_across_batches():
+    spec = RunSpec.make("scan", "stream", scale=SMALL)
+    with Executor(jobs=1) as ex:
+        first = ex.run([spec, spec])
+        assert ex.stats.requested == 2
+        assert ex.stats.computed == 1
+        assert ex.stats.deduped == 1
+        second = ex.run([spec])
+        assert ex.stats.computed == 1  # memo, not recomputed
+    assert first[0].payload == second[0].payload
+
+
+def test_executor_captures_failures_without_killing_batch():
+    good = RunSpec.make("scan", "stream", scale=SMALL)
+    bad = RunSpec.make("scan", "no_such_system", scale=SMALL)
+    with Executor(jobs=1) as ex:
+        ok, failed = ex.run([good, bad])
+    assert ok.ok and ok.require().num_walks > 0
+    assert not failed.ok
+    assert "no_such_system" in failed.error
+    with pytest.raises(ExecError) as err:
+        failed.require()
+    assert "no_such_system" in str(err.value)
+    assert ex.stats.failed == 1
+
+
+def test_parallel_jobs_byte_identical_to_serial():
+    specs = [
+        RunSpec.make("scan", kind, scale=SMALL)
+        for kind in ("stream", "address", "xcache", "metal")
+    ]
+    with Executor(jobs=1) as serial:
+        serial_payloads = [o.payload for o in serial.run(specs)]
+    clear_workload_memo()
+    with Executor(jobs=4) as parallel:
+        parallel_payloads = [o.payload for o in parallel.run(specs)]
+    assert json.dumps(serial_payloads, sort_keys=True) == \
+        json.dumps(parallel_payloads, sort_keys=True)
+
+
+def test_fresh_builds_are_deterministic_per_system():
+    """Two from-scratch builds + serial runs are byte-identical."""
+    for kind in SYSTEMS:
+        spec = RunSpec.make("sets", kind, scale=SMALL)
+        clear_workload_memo()
+        first = execute_spec(spec)
+        clear_workload_memo()
+        second = execute_spec(spec)
+        assert json.dumps(first, sort_keys=True) == \
+            json.dumps(second, sort_keys=True), kind
+
+
+# --------------------------------------------------------------------- #
+# ResultStore
+# --------------------------------------------------------------------- #
+
+def test_store_roundtrip_and_warm_hits(tmp_path):
+    specs = [
+        RunSpec.make("scan", kind, scale=SMALL)
+        for kind in ("stream", "metal")
+    ]
+    store = ResultStore(root=tmp_path)
+    with Executor(jobs=1, store=store) as cold:
+        cold_payloads = [o.payload for o in cold.run(specs)]
+        assert cold.stats.computed == 2
+    with Executor(jobs=1, store=ResultStore(root=tmp_path)) as warm:
+        outcomes = warm.run(specs)
+        assert warm.stats.computed == 0
+        assert warm.stats.cache_hits == 2
+        assert all(o.cached for o in outcomes)
+    assert json.dumps(cold_payloads, sort_keys=True) == \
+        json.dumps([o.payload for o in outcomes], sort_keys=True)
+
+
+def test_store_miss_on_corruption(tmp_path):
+    spec = RunSpec.make("scan", "stream", scale=SMALL)
+    store = ResultStore(root=tmp_path)
+    with Executor(jobs=1, store=store) as ex:
+        ex.run([spec])
+    path = store.path_for(spec)
+    path.write_text("{not json")
+    assert ResultStore(root=tmp_path).get(spec) is None
+
+
+def test_store_invalidates_on_version_change(tmp_path):
+    spec = RunSpec.make("scan", "stream", scale=SMALL)
+    old = ResultStore(root=tmp_path, version="0" * 64)
+    old.put(spec, {"op": "run", "result": {}, "extras": {}})
+    current = ResultStore(root=tmp_path)
+    assert current.get(spec) is None
+    current.prune_stale()
+    assert not old.path_for(spec).exists()
+
+
+# --------------------------------------------------------------------- #
+# Report integration (satellite: cache summary line, --no-cache)
+# --------------------------------------------------------------------- #
+
+def test_report_prints_pipeline_summary(capsys, tmp_path):
+    from repro.bench.report import main as report_main
+
+    out = tmp_path / "cache"
+    assert report_main(["--scale", "0.01", "--fast",
+                        "--cache-dir", str(out)]) == 0
+    text = capsys.readouterr().out
+    line = next(l for l in text.splitlines() if l.startswith("Run pipeline:"))
+    assert "cells requested" in line and "served from cache" in line
+    assert "0 served from cache" in line
+
+    # Warm re-run: every cell comes from the store, zero simulations.
+    assert report_main(["--scale", "0.01", "--fast",
+                        "--cache-dir", str(out)]) == 0
+    warm = capsys.readouterr().out
+    line = next(l for l in warm.splitlines() if l.startswith("Run pipeline:"))
+    assert "0 computed" in line
+
+    # --no-cache forces recomputation even with a warm store present.
+    assert report_main(["--scale", "0.01", "--fast", "--no-cache"]) == 0
+    nocache = capsys.readouterr().out
+    line = next(l for l in nocache.splitlines()
+                if l.startswith("Run pipeline:"))
+    assert "0 served from cache" in line
+    assert "0 computed" not in line
