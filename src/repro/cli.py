@@ -14,6 +14,9 @@ Subcommands:
 * ``profile``   — run one workload traced and fold the events into
   answers: per-component cycle attribution, walk-latency percentiles,
   gen/engine time series (CSV), and an OpenMetrics snapshot.
+* ``perf``      — microbenchmark the simulator's hot paths (repro.perf);
+  ``--baseline`` compares against a stored run, gating on checksum
+  equivalence while timing ratios stay informational.
 """
 
 from __future__ import annotations
@@ -247,6 +250,55 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_perf(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.perf.harness import (
+        EXIT_BASELINE_MISSING,
+        EXIT_CHECKSUM_MISMATCH,
+        compare_reports,
+        format_comparison,
+        format_report,
+        run_suite,
+    )
+    from repro.perf.kernels import KERNELS
+
+    names = tuple(args.kernels.split(",")) if args.kernels else None
+    if names:
+        unknown = sorted(set(names) - set(KERNELS))
+        if unknown:
+            print(f"unknown kernels: {unknown} "
+                  f"(choose from {', '.join(KERNELS)})", file=sys.stderr)
+            return 2
+    report = run_suite(
+        names=names, scale=args.scale, repeat=args.repeat,
+        warmup=args.warmup, progress=not args.quiet,
+    )
+    print(format_report(report))
+    if args.out:
+        report.write(args.out)
+        print(f"perf report written to {args.out}")
+    if args.write_baseline:
+        path = args.baseline or "BENCH_perf.json"
+        report.write(path)
+        print(f"perf baseline written to {path}")
+        return 0
+    if args.baseline is not None:
+        try:
+            with open(args.baseline) as f:
+                baseline = json.load(f)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"baseline {args.baseline} unreadable: {exc}",
+                  file=sys.stderr)
+            return EXIT_BASELINE_MISSING
+        speedups, mismatches = compare_reports(baseline, report)
+        print()
+        print(format_comparison(speedups, mismatches))
+        if mismatches:
+            return EXIT_CHECKSUM_MISMATCH
+    return 0
+
+
 def cmd_ablation(args: argparse.Namespace) -> int:
     from repro.bench import ablation
 
@@ -302,6 +354,31 @@ def build_parser() -> argparse.ArgumentParser:
                    help="result cache root (default: $REPRO_CACHE_DIR "
                         "or .repro_cache)")
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser(
+        "perf", help="microbenchmark the simulator's hot paths"
+    )
+    p.add_argument("--scale", type=float, default=0.05,
+                   help="kernel input scale (default 0.05; the committed "
+                        "BENCH_perf.json baseline uses this scale)")
+    p.add_argument("--repeat", type=int, default=5,
+                   help="timed repetitions per kernel (median reported)")
+    p.add_argument("--warmup", type=int, default=1,
+                   help="discarded warmup runs per kernel")
+    p.add_argument("--kernels", type=str, default=None,
+                   help="comma-separated kernel subset")
+    p.add_argument("--out", type=str, default=None,
+                   help="write the JSON report to this path")
+    p.add_argument("--baseline", type=str, nargs="?",
+                   const="BENCH_perf.json", default=None,
+                   help="compare against this baseline report (bare "
+                        "--baseline means BENCH_perf.json); exits nonzero "
+                        "on checksum mismatch, timings are informational")
+    p.add_argument("--write-baseline", action="store_true",
+                   help="(re)write the --baseline file from this run")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-kernel progress on stderr")
+    p.set_defaults(func=cmd_perf)
 
     p = sub.add_parser("ablation", help="design-choice ablations")
     p.add_argument("--workload", default="scan", choices=sorted(WORKLOAD_BUILDERS))

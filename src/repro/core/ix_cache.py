@@ -34,6 +34,10 @@ _UTILITY_MAX = 15  # 4-bit saturating counter
 _entry_seq = itertools.count()
 
 
+def _identity(k: int) -> int:
+    return k
+
+
 def block_bits_for(key_universe: int, params: CacheParams | None = None,
                    wide_fraction: float = 0.125) -> int:
     """Key-block bits that spread a key universe across the cache's sets.
@@ -174,20 +178,27 @@ class IXCache:
         Returns the deepest cached node covering ``key`` (walk restarts
         from it), or None on a miss.
         """
-        candidates: list[IXEntry] = []
-        for entry in self._sets[self.set_of(key)]:
-            if entry.tag.matches(key):
-                candidates.append(entry)
+        candidates: list[IXEntry] = [
+            entry
+            for entry in self._sets[(key >> self.key_block_bits) % self.num_sets]
+            if entry.tag.matches(key)
+        ]
         for entry in self._wide:
             if entry.tag.matches(key):
                 candidates.append(entry)
         best_node: IndexNode | None = None
         best_entry: IXEntry | None = None
-        for entry in sorted(candidates, key=lambda e: -e.tag.level):
-            node = entry.select(key)
+        if len(candidates) == 1:
+            # Common case: one covering entry — no tie-break sort needed.
+            node = candidates[0].select(key)
             if node is not None:
-                best_entry, best_node = entry, node
-                break
+                best_entry, best_node = candidates[0], node
+        elif candidates:
+            for entry in sorted(candidates, key=lambda e: -e.tag.level):
+                node = entry.select(key)
+                if node is not None:
+                    best_entry, best_node = entry, node
+                    break
         hit = best_node is not None
         self.stats.record(hit)
         if hit and best_entry is not None:
@@ -228,7 +239,7 @@ class IXCache:
         covering ``key`` — is cached; the walker never read the others.
         """
         if ns is None:
-            ns = lambda k: k  # noqa: E731 - trivial identity
+            ns = _identity
         packed = pack_node(node, ns, self.params.block_bytes)
         if key is not None and len(packed) > 1:
             covering = [(tag, n) for tag, n in packed if tag.matches(key)]
@@ -272,24 +283,30 @@ class IXCache:
     def _place_in_set(self, set_idx: int, tag: RangeTag, node: IndexNode, life: int) -> bool:
         ways = self._sets[set_idx]
         for entry in ways:
-            if entry.tag == tag and any(n is node for _, n in entry.parts):
-                entry.utility = min(_UTILITY_MAX, entry.utility + 1)
-                entry.life = max(entry.life, life)
-                return True
-        # Case-3 coalescing: merge with an adjacent same-level small entry.
-        node_bytes = min(node.byte_size(), self.params.block_bytes)
-        for entry in ways if self.coalesce else ():
-            if entry.pinned or life > 0:
-                continue
-            if can_coalesce(entry.tag, tag, entry.nbytes, node_bytes, self.params.block_bytes):
-                entry.parts.append((tag, node))
-                entry.tag = coalesced_tag(entry.tag, tag)
-                entry.nbytes += node_bytes
-                self.stats.insertions += 1
-                if self.tracer.enabled:
-                    self.tracer.emit("ix_insert", level=tag.level,
-                                     lo=tag.lo, hi=tag.hi, coalesced=True)
-                return True
+            if entry.tag == tag:
+                for _, part_node in entry.parts:
+                    if part_node is node:
+                        entry.utility = min(_UTILITY_MAX, entry.utility + 1)
+                        entry.life = max(entry.life, life)
+                        return True
+        block_bytes = self.params.block_bytes
+        node_bytes = min(node.byte_size(), block_bytes)
+        if self.coalesce and life == 0:
+            # Case-3 coalescing: merge with an adjacent same-level small
+            # entry. (A pinned insertion never coalesces — the original
+            # scan skipped every candidate when life > 0.)
+            for entry in ways:
+                if entry.life > 0:
+                    continue
+                if can_coalesce(entry.tag, tag, entry.nbytes, node_bytes, block_bytes):
+                    entry.parts.append((tag, node))
+                    entry.tag = coalesced_tag(entry.tag, tag)
+                    entry.nbytes += node_bytes
+                    self.stats.insertions += 1
+                    if self.tracer.enabled:
+                        self.tracer.emit("ix_insert", level=tag.level,
+                                         lo=tag.lo, hi=tag.hi, coalesced=True)
+                    return True
         owner = tag.lo // NS_STRIDE
         if self.partition is not None and owner in self.partition:
             owned = [e for e in ways if e.tag.lo // NS_STRIDE == owner]

@@ -64,7 +64,7 @@ class MicrocodeTable:
         raise KeyError(f"no microcode row for state {state}")
 
 
-@dataclass
+@dataclass(slots=True)
 class WalkerStep:
     """One observable step: the FSM state, the node, the timed access."""
 

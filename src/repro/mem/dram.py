@@ -13,6 +13,13 @@ from repro.obs.tracer import NULL_TRACER
 from repro.params import BLOCK_SIZE, DRAMParams
 
 
+def _shift_for(value: int) -> int | None:
+    """log2(value) when value is a positive power of two, else None."""
+    if value > 0 and value & (value - 1) == 0:
+        return value.bit_length() - 1
+    return None
+
+
 class DRAM:
     """Timing + energy model for the DRAM behind the DSA.
 
@@ -26,6 +33,24 @@ class DRAM:
         self.tracer = NULL_TRACER
         self._bank_free = [0] * self.params.banks
         self._open_row: list[int | None] = [None] * self.params.banks
+        p = self.params
+        # Power-of-two geometry (the default: 64B blocks, 16 banks, 2KiB
+        # rows) decomposes addresses with shifts and masks instead of
+        # divmod. Non-power-of-two parameters keep the exact arithmetic.
+        self._block_shift = _shift_for(BLOCK_SIZE)
+        self._bank_mask = p.banks - 1 if _shift_for(p.banks) is not None else None
+        self._row_shift = _shift_for(p.row_bytes)
+        self._fast_decomp = (
+            self._block_shift is not None
+            and self._bank_mask is not None
+            and self._row_shift is not None
+        )
+        # Hot per-access constants, hoisted out of the frozen params.
+        self._t_access = p.t_access
+        self._t_row_hit = p.t_row_hit
+        self._t_occupancy = p.t_occupancy
+        self._e_access = p.e_access
+        self._e_row_hit = p.e_row_hit
 
     def attach_obs(self, tracer, registry=None, prefix: str = "dram") -> None:
         """Wire tracing and bind DRAM statistics into a registry."""
@@ -43,27 +68,43 @@ class DRAM:
 
     def bank_of(self, address: int) -> int:
         """Banks are interleaved at block granularity (common for HBM)."""
+        if self._fast_decomp:
+            return (address >> self._block_shift) & self._bank_mask
         return (address // BLOCK_SIZE) % self.params.banks
 
     def row_of(self, address: int) -> int:
+        if self._row_shift is not None:
+            return address >> self._row_shift
         return address // self.params.row_bytes
 
     def access(self, address: int, now: int, *, write: bool = False, nbytes: int = BLOCK_SIZE) -> int:
         """Issue an access at cycle ``now``; return its completion cycle."""
-        p = self.params
-        bank = self.bank_of(address)
-        row = self.row_of(address)
-        start = max(now, self._bank_free[bank])
-        if self._open_row[bank] == row:
-            latency, energy = p.t_row_hit, p.e_row_hit
-            self.stats.row_hits += 1
+        if self._fast_decomp:
+            first_block = address >> self._block_shift
+            bank = first_block & self._bank_mask
+            row = address >> self._row_shift
+        else:
+            first_block = address // BLOCK_SIZE
+            bank = first_block % self.params.banks
+            row = address // self.params.row_bytes
+        bank_free = self._bank_free
+        start = bank_free[bank]
+        if start < now:
+            start = now
+        stats = self.stats
+        open_row = self._open_row
+        if open_row[bank] == row:
+            latency = self._t_row_hit
+            stats.energy_fj += self._e_row_hit
+            stats.row_hits += 1
             row_hit = True
         else:
-            latency, energy = p.t_access, p.e_access
-            self.stats.row_misses += 1
-            self._open_row[bank] = row
+            latency = self._t_access
+            stats.energy_fj += self._e_access
+            stats.row_misses += 1
+            open_row[bank] = row
             row_hit = False
-        self._bank_free[bank] = start + p.t_occupancy
+        bank_free[bank] = start + self._t_occupancy
         if self.tracer.enabled:
             # ``wait`` is the bank-queueing delay (cycles the request sat
             # behind a busy bank before starting) — the profiler's
@@ -74,15 +115,15 @@ class DRAM:
                 latency=latency, wait=start - now,
             )
         if write:
-            self.stats.writes += 1
+            stats.writes += 1
         else:
-            self.stats.reads += 1
-        self.stats.energy_fj += energy
-        self.stats.bytes_moved += nbytes
-        first_block = address // BLOCK_SIZE
-        last_block = (address + max(nbytes, 1) - 1) // BLOCK_SIZE
-        for block in range(first_block, last_block + 1):
-            self.stats.touched_blocks.add(block)
+            stats.reads += 1
+        stats.bytes_moved += nbytes
+        if nbytes <= BLOCK_SIZE:
+            stats.touched_blocks.add(first_block)
+        else:
+            last_block = (address + nbytes - 1) // BLOCK_SIZE
+            stats.touched_blocks.update(range(first_block, last_block + 1))
         return start + latency
 
     def untimed_access(self, address: int, *, write: bool = False, nbytes: int = BLOCK_SIZE) -> int:

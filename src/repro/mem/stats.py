@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheStats:
     """Hit/miss/insert accounting for one cache instance."""
 
@@ -47,7 +47,7 @@ class CacheStats:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class DRAMStats:
     """Traffic, energy, and working-set accounting for the DRAM model.
 

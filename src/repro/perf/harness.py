@@ -1,0 +1,218 @@
+"""Warmup/repeat/median timing harness over the perf kernels.
+
+A suite run produces a JSON-serializable :class:`PerfReport`:
+
+* per-kernel wall-clock samples with the median highlighted, and
+* per-kernel *checksums* — deterministic digests of the kernel's
+  functional output.
+
+Baseline comparison (:func:`compare_reports`) is two-tier by design:
+checksum mismatches are hard failures (the hot path changed behaviour),
+while timing ratios are informational (shared CI runners make wall-clock
+numbers noisy). This mirrors the repo's byte-identical equivalence rule
+for performance PRs (docs/performance.md).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.perf.kernels import KERNELS
+
+#: Report schema version (bump on incompatible layout changes).
+PERF_SCHEMA = 1
+#: Default workload scale for the suite (small enough for CI smoke runs,
+#: large enough that the end-to-end kernel exercises real cache churn).
+DEFAULT_SCALE = 0.05
+
+#: Exit codes shared with the CLI subcommand.
+EXIT_BASELINE_MISSING = 2
+EXIT_CHECKSUM_MISMATCH = 3
+
+
+@dataclass
+class KernelResult:
+    """Timing samples + functional checksum for one kernel."""
+
+    name: str
+    description: str
+    runs_s: list[float] = field(default_factory=list)
+    checksum: str = ""
+
+    @property
+    def median_s(self) -> float:
+        ordered = sorted(self.runs_s)
+        n = len(ordered)
+        if n == 0:
+            return 0.0
+        mid = n // 2
+        if n % 2:
+            return ordered[mid]
+        return (ordered[mid - 1] + ordered[mid]) / 2
+
+    @property
+    def min_s(self) -> float:
+        return min(self.runs_s) if self.runs_s else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "description": self.description,
+            "median_s": self.median_s,
+            "min_s": self.min_s,
+            "runs_s": list(self.runs_s),
+            "checksum": self.checksum,
+        }
+
+
+@dataclass
+class PerfReport:
+    """One full suite run, ready to serialize or compare."""
+
+    scale: float
+    repeat: int
+    warmup: int
+    kernels: dict[str, KernelResult] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": PERF_SCHEMA,
+            "scale": self.scale,
+            "repeat": self.repeat,
+            "warmup": self.warmup,
+            "python": platform.python_version(),
+            "kernels": {name: k.to_dict() for name, k in self.kernels.items()},
+        }
+
+    def write(self, path: str) -> None:
+        with open(path, "w") as f:
+            json.dump(self.to_dict(), f, indent=2, sort_keys=True)
+            f.write("\n")
+
+
+def run_suite(
+    names: tuple[str, ...] | None = None,
+    scale: float = DEFAULT_SCALE,
+    repeat: int = 5,
+    warmup: int = 1,
+    progress: bool = False,
+) -> PerfReport:
+    """Time each kernel: one setup, ``warmup`` discarded runs, ``repeat``
+    measured runs. Checksums must be identical across every run of a
+    kernel — a drifting checksum means the kernel (or the simulator
+    underneath it) is nondeterministic, which is itself a bug.
+    """
+    if repeat < 1:
+        raise ValueError("repeat must be >= 1")
+    report = PerfReport(scale=scale, repeat=repeat, warmup=warmup)
+    for name in names or tuple(KERNELS):
+        try:
+            setup, run, description = KERNELS[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown kernel {name!r} (choose from {', '.join(KERNELS)})"
+            ) from None
+        if progress:
+            print(f"  {name}: setup...", file=sys.stderr, flush=True)
+        state = setup(scale)
+        result = KernelResult(name=name, description=description)
+        for i in range(warmup + repeat):
+            started = time.perf_counter()
+            checksum = str(run(state))
+            elapsed = time.perf_counter() - started
+            if result.checksum and checksum != result.checksum:
+                raise AssertionError(
+                    f"kernel {name} is nondeterministic: run {i} produced "
+                    f"checksum {checksum} after {result.checksum}"
+                )
+            result.checksum = checksum
+            if i >= warmup:
+                result.runs_s.append(elapsed)
+        report.kernels[name] = result
+        if progress:
+            print(f"  {name}: median {result.median_s * 1e3:.1f} ms",
+                  file=sys.stderr, flush=True)
+    return report
+
+
+def format_report(report: PerfReport) -> str:
+    from repro.bench.format import render_table
+
+    rows = []
+    for name, kernel in report.kernels.items():
+        rows.append([
+            name,
+            f"{kernel.median_s * 1e3:.2f}",
+            f"{kernel.min_s * 1e3:.2f}",
+            len(kernel.runs_s),
+            kernel.checksum[:12],
+        ])
+    return render_table(
+        ["kernel", "median ms", "min ms", "runs", "checksum"],
+        rows,
+        f"Microbenchmarks at scale {report.scale:g} "
+        f"({report.warmup} warmup + {report.repeat} timed)",
+    )
+
+
+def compare_reports(
+    baseline: dict[str, Any], report: PerfReport
+) -> tuple[dict[str, float], list[str]]:
+    """Compare a run against a stored baseline report.
+
+    Returns ``(speedups, mismatches)``: per-kernel speedup ratios
+    (baseline median / current median; >1 means this tree is faster) and
+    the hard failures — checksum mismatches or kernels missing from the
+    run. Ratios are only computed for kernels whose recorded scale
+    matches; a scale mismatch voids the whole comparison.
+    """
+    mismatches: list[str] = []
+    speedups: dict[str, float] = {}
+    base_scale = baseline.get("scale")
+    if base_scale != report.scale:
+        mismatches.append(
+            f"scale mismatch: baseline {base_scale} vs run {report.scale} "
+            f"(timings and checksums are scale-dependent)"
+        )
+        return speedups, mismatches
+    base_kernels: dict[str, Any] = baseline.get("kernels", {})
+    for name, want in sorted(base_kernels.items()):
+        got = report.kernels.get(name)
+        if got is None:
+            mismatches.append(f"{name}: kernel missing from this run")
+            continue
+        if want.get("checksum") != got.checksum:
+            mismatches.append(
+                f"{name}: checksum {got.checksum[:16]} != baseline "
+                f"{str(want.get('checksum'))[:16]} — hot path changed "
+                f"behaviour (the optimization equivalence gate)"
+            )
+        base_median = float(want.get("median_s") or 0.0)
+        if base_median > 0 and got.median_s > 0:
+            speedups[name] = base_median / got.median_s
+    return speedups, mismatches
+
+
+def format_comparison(
+    speedups: dict[str, float], mismatches: list[str]
+) -> str:
+    from repro.bench.format import render_table
+
+    lines = []
+    if speedups:
+        rows = [[name, f"{ratio:.2f}x"] for name, ratio in speedups.items()]
+        lines.append(render_table(
+            ["kernel", "speedup vs baseline"], rows,
+            "Baseline comparison (>1 = faster; informational)",
+        ))
+    if mismatches:
+        lines.append("EQUIVALENCE FAILURES (gating):")
+        lines.extend(f"  - {m}" for m in mismatches)
+    else:
+        lines.append("checksums match the baseline: hot paths are "
+                      "behaviour-identical")
+    return "\n".join(lines)

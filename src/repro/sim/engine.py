@@ -48,7 +48,7 @@ class WalkTrace:
     full_hit: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class EngineResult:
     """Aggregate timing of one engine run."""
 
@@ -84,7 +84,16 @@ class Engine:
         return max(1, self.params.tiles * self.params.tile.walker_contexts)
 
     def run(self, traces: list[WalkTrace], record_latencies: bool = False) -> EngineResult:
-        """Event-driven timed run; returns makespan and walk latencies."""
+        """Event-driven timed run; returns makespan and walk latencies.
+
+        The tracer-off path (the default) is a separate branch-free loop:
+        no per-access ``tracer.enabled`` checks, hot attributes bound to
+        locals, and no heap traffic while the running context stays the
+        earliest event (``heappushpop`` only when another context is due).
+        Both paths produce identical results — the traced loop keeps the
+        straightforward one-event-per-iteration structure so event
+        ordering is obvious.
+        """
         result = EngineResult(num_walks=len(traces))
         if not traces:
             return result
@@ -102,13 +111,17 @@ class Engine:
         makespan = 0
         tracer = self.tracer
         tracing = tracer.enabled
-        if tracing:
-            # Walk i sits at queues[i % contexts][i // contexts], so the
-            # global walk ordinal is walk_idx * contexts + ctx.
-            for c in range(contexts):
-                if queues[c]:
-                    tracer.emit("walk_start", ts=0, phase="engine",
-                                walk=c, ctx=c)
+        if not tracing:
+            return self._run_untraced(
+                result, heap, queues, walk_idx, access_idx, walk_start,
+                record_latencies,
+            )
+        # Walk i sits at queues[i % contexts][i // contexts], so the
+        # global walk ordinal is walk_idx * contexts + ctx.
+        for c in range(contexts):
+            if queues[c]:
+                tracer.emit("walk_start", ts=0, phase="engine",
+                            walk=c, ctx=c)
 
         # Per-context attribution accumulators (profiling): SRAM probe
         # service cycles and compute cycles of the in-flight walk. DRAM
@@ -176,6 +189,104 @@ class Engine:
                                 walk=walk_idx[ctx] * contexts + ctx, ctx=ctx)
                 heapq.heappush(heap, (now, ctx))
 
+        result.makespan = makespan
+        return result
+
+    def _run_untraced(
+        self,
+        result: EngineResult,
+        heap: list[tuple[int, int]],
+        queues: list[list[WalkTrace]],
+        walk_idx: list[int],
+        access_idx: list[int],
+        walk_start: list[int],
+        record_latencies: bool,
+    ) -> EngineResult:
+        """Lean event loop for NULL_TRACER runs (the bench-matrix path).
+
+        Event-for-event equivalent to the traced loop: the popped context
+        keeps executing inline while its next event is no later than the
+        heap head (the traced formulation re-pushes and immediately
+        re-pops the same entry in that case), and a single ``heappushpop``
+        replaces the push/pop pair when another context is due first.
+        """
+        dram_access = self.dram.access
+        xbar_access = self.xbar.access
+        heappop = heapq.heappop
+        heappushpop = heapq.heappushpop
+        block_size = BLOCK_SIZE
+        latencies = result.walk_latencies
+        total_cycles = 0
+        makespan = 0
+        while heap:
+            now, ctx = heappop(heap)
+            queue = queues[ctx]
+            qi = walk_idx[ctx]
+            accesses = queue[qi].accesses
+            na = len(accesses)
+            ai = access_idx[ctx]
+            while True:
+                if ai < na:
+                    access = accesses[ai]
+                    kind = access.kind
+                    if kind == "dram":
+                        nbytes = access.nbytes
+                        if nbytes <= block_size:
+                            now = dram_access(
+                                access.address, now, write=access.write
+                            )
+                        else:
+                            address = access.address
+                            write = access.write
+                            for offset in range(0, nbytes, block_size):
+                                now = dram_access(
+                                    address + offset, now, write=write
+                                )
+                    elif kind == "sram" and access.port >= 0:
+                        now = xbar_access(access.port, now, access.cycles)
+                    elif kind == "dram_prefetch":
+                        # Bandwidth/occupancy only; never stalls the walker.
+                        nbytes = access.nbytes
+                        if nbytes <= block_size:
+                            dram_access(access.address, now)
+                        else:
+                            address = access.address
+                            for offset in range(0, nbytes, block_size):
+                                dram_access(address + offset, now)
+                    else:
+                        now += access.cycles
+                    ai += 1
+                    if heap:
+                        head = heap[0]
+                        if head[0] < now or (head[0] == now and head[1] < ctx):
+                            access_idx[ctx] = ai
+                            now, ctx = heappushpop(heap, (now, ctx))
+                            queue = queues[ctx]
+                            qi = walk_idx[ctx]
+                            accesses = queue[qi].accesses
+                            na = len(accesses)
+                            ai = access_idx[ctx]
+                else:
+                    # Walk complete. The context continues at the same
+                    # cycle: re-pushing (now, ctx) would pop it right back
+                    # (it was the minimum and context ids are unique).
+                    latency = now - walk_start[ctx]
+                    total_cycles += latency
+                    if record_latencies:
+                        latencies.append(latency)
+                    if now > makespan:
+                        makespan = now
+                    qi += 1
+                    walk_idx[ctx] = qi
+                    walk_start[ctx] = now
+                    if qi < len(queue):
+                        ai = 0
+                        access_idx[ctx] = 0
+                        accesses = queue[qi].accesses
+                        na = len(accesses)
+                    else:
+                        break
+        result.total_walk_cycles = total_cycles
         result.makespan = makespan
         return result
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from collections.abc import Callable, Iterable, Sequence
+from functools import lru_cache
 from typing import Any
 
 from repro.core.descriptors import WalkContext
@@ -51,15 +52,19 @@ def namespace_fn(index: Any) -> Callable[[int], int]:
     return ns
 
 
-def _node_blocks(node: IndexNode) -> list[int]:
-    """Block-aligned addresses a walker actually touches in a node.
+@lru_cache(maxsize=None)
+def _blocks_for(address: int, nbytes: int) -> tuple[int, ...]:
+    """Footprint for one (address, nbytes) extent — the memoized core.
 
-    A multi-block node is binary-searched, not read whole: the walker
-    fetches the header block plus ~log2(blocks) probe blocks. Every memory
-    organization uses the same footprint, so comparisons stay fair.
+    The footprint is an affine function of the extent alone (the METAL
+    observation that walk behaviour is affine in (level, range) applies to
+    node geometry too), so it is computed once per distinct extent instead
+    of once per node visit. Keyed on (address, nbytes) rather than node
+    identity: structural mutations allocate fresh extents, so stale nodes
+    can never alias a live entry.
     """
-    first = node.address - (node.address % BLOCK_SIZE)
-    total = max(1, -(-(node.address + max(node.nbytes, 1) - first) // BLOCK_SIZE))
+    first = address - (address % BLOCK_SIZE)
+    total = max(1, -(-(address + max(nbytes, 1) - first) // BLOCK_SIZE))
     touched = min(total, 1 + max(0, total - 1).bit_length())
     # Header plus evenly spaced probe blocks (deterministic for replay).
     if touched >= total:
@@ -67,7 +72,17 @@ def _node_blocks(node: IndexNode) -> list[int]:
     else:
         step = total / touched
         picks = sorted({int(i * step) for i in range(touched)})
-    return [first + p * BLOCK_SIZE for p in picks]
+    return tuple(first + p * BLOCK_SIZE for p in picks)
+
+
+def _node_blocks(node: IndexNode) -> tuple[int, ...]:
+    """Block-aligned addresses a walker actually touches in a node.
+
+    A multi-block node is binary-searched, not read whole: the walker
+    fetches the header block plus ~log2(blocks) probe blocks. Every memory
+    organization uses the same footprint, so comparisons stay fair.
+    """
+    return _blocks_for(node.address, node.nbytes)
 
 
 class MemorySystem(ABC):
@@ -78,6 +93,10 @@ class MemorySystem(ABC):
     def __init__(self, sim: SimParams | None = None) -> None:
         self.sim = sim or SimParams()
         self.tracer = NULL_TRACER
+        # One immutable compute step shared by every walk: traces only
+        # ever read Access objects, so the hot loops skip an allocation
+        # per visited node.
+        self._search_step = Access("compute", cycles=self.sim.t_search)
 
     def attach_obs(self, tracer, registry=None) -> None:
         """Wire tracing through this system and its cache components.
@@ -138,7 +157,7 @@ class MemorySystem(ABC):
         return stats.accesses if stats is not None else 0
 
     def _search(self) -> Access:
-        return Access("compute", cycles=self.sim.t_search)
+        return self._search_step
 
 
 class StreamingMemSys(MemorySystem):
@@ -149,10 +168,12 @@ class StreamingMemSys(MemorySystem):
     def process_walk(self, index: Any, key: int) -> WalkTrace:
         path = index.walk(key)
         accesses: list[Access] = []
+        append = accesses.append
+        search = self._search_step
         for node in path:
-            for addr in _node_blocks(node):
-                accesses.append(Access("dram", addr, BLOCK_SIZE))
-            accesses.append(self._search())
+            for addr in _blocks_for(node.address, node.nbytes):
+                append(Access("dram", addr, BLOCK_SIZE))
+            append(search)
         return WalkTrace(key, accesses, start_level=0, nodes_visited=len(path))
 
 
@@ -190,21 +211,27 @@ class AddressCacheMemSys(MemorySystem):
     def process_walk(self, index: Any, key: int) -> WalkTrace:
         path = index.walk(key)
         accesses: list[Access] = []
+        append = accesses.append
+        search = self._search_step
+        probe_cycles = self.sim.t_addr_probe
+        lookup = self.cache.lookup
+        insert = self.cache.insert
+        prefetch = self.prefetch
         for node in path:
-            for block_addr in _node_blocks(node):
-                accesses.append(Access(
-                    "sram", cycles=self.sim.t_addr_probe,
+            for block_addr in _blocks_for(node.address, node.nbytes):
+                append(Access(
+                    "sram", cycles=probe_cycles,
                     port=block_addr // BLOCK_SIZE,
                 ))
-                if not self.cache.lookup(block_addr):
-                    accesses.append(Access("dram", block_addr, BLOCK_SIZE))
-                    self.cache.insert(block_addr)
-                    if self.prefetch:
+                if not lookup(block_addr):
+                    append(Access("dram", block_addr, BLOCK_SIZE))
+                    insert(block_addr)
+                    if prefetch:
                         nxt = block_addr + BLOCK_SIZE
                         if not self.cache.contains(nxt):
-                            accesses.append(Access("dram_prefetch", nxt, BLOCK_SIZE))
-                            self.cache.insert(nxt)
-            accesses.append(self._search())
+                            append(Access("dram_prefetch", nxt, BLOCK_SIZE))
+                            insert(nxt)
+            append(search)
         return WalkTrace(key, accesses, start_level=0, nodes_visited=len(path))
 
     def _scan_leaf(self, index: Any, leaf: IndexNode, accesses: list[Access]) -> None:
@@ -265,26 +292,31 @@ class HierarchyMemSys(MemorySystem):
     def process_walk(self, index: Any, key: int) -> WalkTrace:
         path = index.walk(key)
         accesses: list[Access] = []
+        append = accesses.append
+        search = self._search_step
+        hierarchy = self.hierarchy
+        lookup = hierarchy.lookup
+        l1_cycles = hierarchy.latency_of(1)
+        l2_cycles = hierarchy.latency_of(2)
+        miss_cycles = hierarchy.miss_latency_cycles
         for node in path:
-            for block_addr in _node_blocks(node):
-                level = self.hierarchy.lookup(block_addr)
+            for block_addr in _blocks_for(node.address, node.nbytes):
+                level = lookup(block_addr)
                 if level == 1:
-                    accesses.append(Access(
-                        "sram", cycles=self.hierarchy.latency_of(1)
-                    ))
+                    append(Access("sram", cycles=l1_cycles))
                 elif level == 2:
-                    accesses.append(Access(
-                        "sram", cycles=self.hierarchy.latency_of(2),
+                    append(Access(
+                        "sram", cycles=l2_cycles,
                         port=block_addr // BLOCK_SIZE,
                     ))
                 else:
-                    accesses.append(Access(
-                        "sram", cycles=self.hierarchy.miss_latency_cycles,
+                    append(Access(
+                        "sram", cycles=miss_cycles,
                         port=block_addr // BLOCK_SIZE,
                     ))
-                    accesses.append(Access("dram", block_addr, BLOCK_SIZE))
-                    self.hierarchy.insert(block_addr)
-            accesses.append(self._search())
+                    append(Access("dram", block_addr, BLOCK_SIZE))
+                    hierarchy.insert(block_addr)
+            append(search)
         return WalkTrace(key, accesses, start_level=0, nodes_visited=len(path))
 
 
@@ -394,10 +426,12 @@ class XCacheMemSys(MemorySystem):
                 full_hit=True,
             )
         path = index.walk(key)
+        append = accesses.append
+        search = self._search_step
         for node in path:
-            for addr in _node_blocks(node):
-                accesses.append(Access("dram", addr, BLOCK_SIZE))
-            accesses.append(self._search())
+            for addr in _blocks_for(node.address, node.nbytes):
+                append(Access("dram", addr, BLOCK_SIZE))
+            append(search)
         self.cache.insert(ns(key), path[-1])
         return WalkTrace(key, accesses, start_level=0, nodes_visited=len(path))
 
@@ -467,13 +501,18 @@ class MetalMemSys(MemorySystem):
             remaining = path
             start_level = 0
             short = False
+        append = accesses.append
+        search = self._search_step
+        consider = self.policy.consider
+        index_id = index.index_id
+        ns_key = ns(key)
         for position, node in enumerate(remaining):
-            for addr in _node_blocks(node):
-                accesses.append(Access("dram", addr, BLOCK_SIZE))
-            accesses.append(self._search())
-            self.policy.consider(
-                index.index_id, node, height, ns, WalkContext(short, position),
-                key=ns(key),
+            for addr in _blocks_for(node.address, node.nbytes):
+                append(Access("dram", addr, BLOCK_SIZE))
+            append(search)
+            consider(
+                index_id, node, height, ns, WalkContext(short, position),
+                key=ns_key,
             )
         self.policy.end_walk()
         return WalkTrace(

@@ -247,18 +247,33 @@ def _windowed_working_set(
     if total_index_blocks <= 0 or not traces:
         return 0.0
     data_base_block = Allocator.DATA_BASE // BLOCK_SIZE
+    block_size = BLOCK_SIZE
     fractions: list[float] = []
-    for start in range(0, len(traces), window):
-        touched: set[int] = set()
-        for trace in traces[start : start + window]:
-            for access in trace.accesses:
-                if access.kind != "dram":
-                    continue
-                first = access.address // BLOCK_SIZE
-                if first >= data_base_block:
-                    continue
-                last = (access.address + max(access.nbytes, 1) - 1) // BLOCK_SIZE
+    # Single pass with one reused set: windows are disjoint, so the set is
+    # drained at each boundary instead of rebuilt per window slice.
+    touched: set[int] = set()
+    add = touched.add
+    in_window = 0
+    for trace in traces:
+        for access in trace.accesses:
+            if access.kind != "dram":
+                continue
+            address = access.address
+            first = address // block_size
+            if first >= data_base_block:
+                continue
+            nbytes = access.nbytes
+            if nbytes <= block_size:
+                add(first)
+            else:
+                last = (address + nbytes - 1) // block_size
                 touched.update(range(first, last + 1))
+        in_window += 1
+        if in_window == window:
+            fractions.append(min(1.0, len(touched) / total_index_blocks))
+            touched.clear()
+            in_window = 0
+    if in_window:
         fractions.append(min(1.0, len(touched) / total_index_blocks))
     return sum(fractions) / len(fractions)
 
@@ -311,11 +326,9 @@ def simulate(
             )
         else:
             trace = memsys.process_walk(request.index, request.key)
-        index_dram += sum(
-            1
-            for access in trace.accesses
-            if access.kind == "dram" and access.address < data_base
-        )
+        for access in trace.accesses:
+            if access.kind == "dram" and access.address < data_base:
+                index_dram += 1
         walk_id = (id(request.index), request.key)
         if walk_id not in baseline_cache:
             baseline_cache[walk_id] = sum(
