@@ -1,0 +1,42 @@
+"""Resilience curves under deterministic fault injection (repro.faults).
+
+Sweeps a uniform fault-plan rate over the METAL cell and asserts graceful
+degradation: makespan grows monotonically with the fault rate (within the
+documented tolerance), never collapses, and the resilience ledger accounts
+for every issued walk at every point.
+"""
+
+from conftest import run_once
+
+from repro.bench.chaos import (
+    DEFAULT_RATES,
+    check_graceful,
+    format_chaos,
+    run_chaos,
+)
+
+
+def test_chaos_resilience_curve(benchmark, bench_scale):
+    curve = run_once(
+        benchmark, run_chaos, "scan", system="metal",
+        rates=DEFAULT_RATES, scale=bench_scale,
+    )
+    print()
+    print(format_chaos(curve))
+    problems = check_graceful(curve)
+    assert not problems, problems
+    # The fault-free anchor carries no ledger; every faulted point does,
+    # with zero lost requests and a strictly positive injection count.
+    assert curve.points[0].faults is None
+    for point in curve.points[1:]:
+        ledger = point.faults
+        assert ledger is not None
+        assert ledger["faults_injected"] > 0
+        assert (
+            ledger["walks_completed"] + ledger["walks_degraded"]
+            == ledger["walks_total"]
+            == point.num_walks
+        )
+    # Faults must actually hurt: the 10% point is measurably slower than
+    # the fault-free anchor (else the hooks are not wired).
+    assert curve.points[-1].makespan > curve.points[0].makespan

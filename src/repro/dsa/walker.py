@@ -29,6 +29,7 @@ class WalkerState(Enum):
 
     FETCH = "fetch"    # issue the cursor node's address to DRAM
     WAIT = "wait"      # yield: cursor refilling from DRAM
+    RETRY = "retry"    # yield: refill failed, back off before re-issue
     SEARCH = "search"  # yield: find the next child pointer in the node
     NEXT = "next"      # advance the cursor to the chosen child
     DONE = "done"      # leaf reached
@@ -123,10 +124,17 @@ class Walker:
         sim: SimParams | None = None,
         table: MicrocodeTable | None = None,
         program: WalkProgram | None = None,
+        injector: Any = None,
     ):
         self.sim = sim or SimParams()
         self.table = table or MicrocodeTable()
         self.program = program
+        #: Optional repro.faults.FaultInjector: transient refill failures
+        #: surface as RETRY steps (backoff compute + WAIT re-fetch). This
+        #: is the FSM-level view of the same resilience loop the engine
+        #: replays for timed runs — wire an injector into exactly one of
+        #: the two, never both, or failures would be drawn twice.
+        self.injector = injector
 
     def _state_cost(self, state: WalkerState) -> int:
         if self.program is None:
@@ -152,6 +160,8 @@ class Walker:
             )
             state = self.table.successor(state)  # WAIT
             yield WalkerStep(state, node, Access("dram", node.address, node.nbytes))
+            if self.injector is not None:
+                yield from self._retry_steps(node)
             state = self.table.successor(state)  # SEARCH
             yield WalkerStep(
                 state, node,
@@ -165,6 +175,36 @@ class Walker:
             )
             state = self.table.successor(state)  # FETCH
         yield WalkerStep(WalkerState.DONE, path[-1] if path else start, None)
+
+    def _retry_steps(self, node: IndexNode) -> Iterator[WalkerStep]:
+        """Bounded retry-with-backoff after a transiently failed refill.
+
+        Each failed attempt yields a RETRY step (exponential-backoff
+        compute) followed by a WAIT step that re-issues the node fetch —
+        the FSM twin of ``Engine._retry_walker_step``. The ledger
+        accounting (retries, backoff cycles, exhaustion) lives in the
+        injector, identical to the engine path.
+        """
+        fails = self.injector.walker_failures()
+        if not fails:
+            return
+        stats = self.injector.stats
+        plan = self.injector.plan
+        for attempt in range(fails):
+            pause = plan.walker_backoff_cycles << attempt
+            stats.retry_backoff_cycles += pause
+            yield WalkerStep(
+                WalkerState.RETRY, node,
+                Access("compute", cycles=pause) if pause else None,
+            )
+            yield WalkerStep(
+                WalkerState.WAIT, node, Access("dram", node.address, node.nbytes)
+            )
+        if fails > plan.walker_retry_limit:
+            stats.retries += plan.walker_retry_limit
+            stats.retries_exhausted += 1
+        else:
+            stats.retries += fails
 
     def trace(self, index: Any, key: int, start: IndexNode | None = None) -> list[Access]:
         return [step.access for step in self.run(index, key, start) if step.access is not None]

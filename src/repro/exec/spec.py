@@ -79,6 +79,12 @@ class RunSpec:
     #: build_memsys overrides (tune, batch_walks, coalesce, ...) plus the
     #: virtual ``batch_windows`` (batch_walks from a window count).
     memsys_kwargs: KwargItems = ()
+    #: Fault-injection schedule: a repro.faults.FaultPlan stored as its
+    #: sorted (field, value) items, the same canonical form as *_kwargs.
+    #: () means fault-free; a faulted spec therefore hashes differently
+    #: from its unfaulted twin by construction, while flowing through the
+    #: dedup/cache machinery unchanged.
+    faults: KwargItems = ()
     #: Worker-side artifacts to ship back beside the RunResult (e.g.
     #: "occupancy_by_level", "controller_history", "start_levels",
     #: "attribution", "index_heights"). Part of the hash: a cached payload
@@ -93,8 +99,13 @@ class RunSpec:
         ``requests_slice``/``collect``, so call sites stay readable while
         the stored form is canonical.
         """
+        faults = kwargs.get("faults")
+        if faults is not None and hasattr(faults, "items") \
+                and not isinstance(faults, (dict, tuple, list)):
+            # A FaultPlan instance: take its canonical sorted items.
+            kwargs["faults"] = faults.items()
         for name in ("workload_kwargs", "sim_kwargs", "cache_kwargs",
-                     "memsys_kwargs"):
+                     "memsys_kwargs", "faults"):
             if name in kwargs:
                 kwargs[name] = _freeze_kwargs(kwargs[name], name)
         if kwargs.get("requests_slice") is not None:
@@ -117,6 +128,14 @@ class RunSpec:
 
     def digest(self) -> str:
         return hashlib.sha256(self.canonical().encode()).hexdigest()
+
+    def fault_plan(self):
+        """The spec's FaultPlan, rebuilt from its stored items (or None)."""
+        if not self.faults:
+            return None
+        from repro.faults import FaultPlan
+
+        return FaultPlan(**dict(self.faults))
 
     def label(self) -> str:
         """Short human-readable tag for failure reports and logs."""

@@ -108,6 +108,8 @@ def _execute_run(spec: RunSpec) -> dict[str, Any]:
     sim = (config.scaled(spec.tiles) if spec.tiles else config).sim_params()
     if spec.sim_kwargs:
         sim = replace(sim, **dict(spec.sim_kwargs))
+    if spec.faults:
+        sim = replace(sim, faults=spec.fault_plan())
     cache_bytes = spec.cache_bytes or workload.default_cache_bytes
     if spec.cache_factor:
         cache_bytes *= spec.cache_factor

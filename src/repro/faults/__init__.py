@@ -1,0 +1,27 @@
+"""Deterministic fault injection and resilience accounting (``repro.faults``).
+
+METAL's evaluation assumes a well-behaved memory system; this layer is the
+robustness counterpart. A :class:`FaultPlan` is a frozen, canonically-hashed
+description of a *seeded schedule* of adverse events — DRAM latency spikes
+and bank stalls, NoC congestion bursts, transient walker-context failures,
+and IX-cache range-tag corruption / invalidation storms. A
+:class:`FaultInjector` replays that schedule deterministically through
+hooks threaded into the engine, both memory models, and the DSA layer, and
+accounts every resilience action (retries, refetches, degraded walks,
+injected stall cycles) in :class:`FaultStats`.
+
+Determinism contract:
+
+* same plan (same seed, same rates) => bit-identical fault schedule =>
+  byte-identical :class:`repro.sim.metrics.RunResult`;
+* ``faults=None`` and an *empty* plan (every rate zero) are byte-identical
+  to the pre-fault-layer simulator — the hooks cost one predictable branch;
+* no request is ever lost: every injected fault is either retried to
+  success or the walk completes through a degraded fallback and is counted
+  (``walks_completed + walks_degraded == num_walks``).
+"""
+
+from repro.faults.inject import FaultInjector, FaultStats
+from repro.faults.plan import FaultPlan
+
+__all__ = ["FaultInjector", "FaultPlan", "FaultStats"]

@@ -1,0 +1,201 @@
+"""FaultInjector — deterministic replay of a FaultPlan, with accounting.
+
+Every injection site owns an independent counted stream: decision ``n`` at
+site ``s`` is a pure function of ``(plan.seed, s, n)`` through a
+splitmix64-style mixer, so the schedule depends only on the plan and on
+how many times each site has been visited — never on Python's hash seed,
+on wall clock, on process layout, or on any other site's draws. Two runs
+that visit the sites in the same order (the simulator is deterministic)
+draw the same faults; tracing on/off shares one code path in the engine,
+so it cannot reorder the visits.
+
+The injector also owns the resilience ledger, :class:`FaultStats`: every
+injected fault and every resilience action (retry, refetch, storm
+eviction, degraded completion) is counted, so a run can prove that
+``walks_completed + walks_degraded == num_walks`` — no request is ever
+silently lost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+from repro.faults.plan import FaultPlan
+
+_M64 = (1 << 64) - 1
+#: Injection-site identifiers (stable: part of the determinism contract).
+SITE_DRAM_SPIKE = 1
+SITE_BANK_STALL = 2
+SITE_NOC_BURST = 3
+SITE_WALKER_FAIL = 4
+SITE_TAG_CORRUPT = 5
+SITE_STORM = 6
+
+
+def _mix(seed: int, site: int, n: int) -> float:
+    """Uniform [0, 1) draw from (seed, site, counter) — splitmix64 finalizer."""
+    x = (seed * 0x9E3779B97F4A7C15
+         + site * 0xBF58476D1CE4E5B9
+         + n * 0x94D049BB133111EB + 0xD6E8FEB86659FD93) & _M64
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & _M64
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) & _M64
+    x ^= x >> 31
+    return (x >> 11) * (1.0 / (1 << 53))
+
+
+@dataclass(slots=True)
+class FaultStats:
+    """Injection and resilience ledger for one run.
+
+    ``*_injected`` count fault events that fired; the remaining fields
+    count the resilience machinery's responses. ``walks_total`` /
+    ``walks_completed`` are stamped by the orchestrator after the engine
+    run so the no-lost-requests invariant is checkable from the serialized
+    result alone.
+    """
+
+    dram_spikes_injected: int = 0
+    bank_stalls_injected: int = 0
+    noc_bursts_injected: int = 0
+    walker_faults_injected: int = 0
+    tag_corruptions_injected: int = 0
+    storms_injected: int = 0
+    #: Extra cycles injected directly (spikes + stalls + bursts + backoff).
+    injected_stall_cycles: int = 0
+    #: Walker-step retry attempts performed (each refetches the node).
+    retries: int = 0
+    #: Cycles spent waiting in retry backoff (profiler: ``fault_retry``).
+    retry_backoff_cycles: int = 0
+    #: Walker steps whose retry budget was exhausted (degraded fallback).
+    retries_exhausted: int = 0
+    #: Corrupted-tag recoveries: invalidate the entry, refetch via full walk.
+    tag_refetches: int = 0
+    #: IX-cache entries evicted by invalidation storms.
+    storm_evictions: int = 0
+    #: Walks that finished only through a degraded fallback.
+    walks_degraded: int = 0
+    #: Walks that finished cleanly (stamped post-run).
+    walks_completed: int = 0
+    #: Total walks issued (stamped post-run).
+    walks_total: int = 0
+
+    @property
+    def faults_injected(self) -> int:
+        return (self.dram_spikes_injected + self.bank_stalls_injected
+                + self.noc_bursts_injected + self.walker_faults_injected
+                + self.tag_corruptions_injected + self.storms_injected)
+
+    def to_dict(self) -> dict[str, int]:
+        """Deterministically ordered, JSON-round-trip-safe summary."""
+        data = asdict(self)
+        data["faults_injected"] = self.faults_injected
+        return dict(sorted(data.items()))
+
+
+class FaultInjector:
+    """Replays one :class:`FaultPlan` through counted per-site streams."""
+
+    __slots__ = ("plan", "stats", "_counters")
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.stats = FaultStats()
+        self._counters = [0] * (SITE_STORM + 1)
+
+    def _draw(self, site: int) -> float:
+        n = self._counters[site]
+        self._counters[site] = n + 1
+        return _mix(self.plan.seed, site, n)
+
+    # ------------------------------------------------------------------ #
+    # Memory-system sites (timed paths)
+    # ------------------------------------------------------------------ #
+
+    def dram_spike(self) -> int:
+        """Extra service latency for this DRAM access (0 = no fault)."""
+        plan = self.plan
+        if plan.dram_spike_rate and self._draw(SITE_DRAM_SPIKE) < plan.dram_spike_rate:
+            self.stats.dram_spikes_injected += 1
+            self.stats.injected_stall_cycles += plan.dram_spike_cycles
+            return plan.dram_spike_cycles
+        return 0
+
+    def bank_stall(self) -> int:
+        """Extra bank occupancy after this DRAM access (0 = no fault)."""
+        plan = self.plan
+        if plan.bank_stall_rate and self._draw(SITE_BANK_STALL) < plan.bank_stall_rate:
+            self.stats.bank_stalls_injected += 1
+            self.stats.injected_stall_cycles += plan.bank_stall_cycles
+            return plan.bank_stall_cycles
+        return 0
+
+    def noc_burst(self) -> int:
+        """Service-start slip for this crossbar probe (0 = no fault)."""
+        plan = self.plan
+        if plan.noc_burst_rate and self._draw(SITE_NOC_BURST) < plan.noc_burst_rate:
+            self.stats.noc_bursts_injected += 1
+            self.stats.injected_stall_cycles += plan.noc_burst_cycles
+            return plan.noc_burst_cycles
+        return 0
+
+    def walker_failures(self) -> int:
+        """Consecutive transient failures of one walker refill step.
+
+        0 means the step succeeds first try. A positive count ``f`` means
+        ``min(f, walker_retry_limit)`` retry attempts are performed; when
+        ``f > walker_retry_limit`` the retry budget is exhausted and the
+        walk must complete through the degraded fallback. The stream is
+        consumed one draw per (attempted) failure, so the count is bounded
+        by ``walker_retry_limit + 1`` draws per step.
+        """
+        plan = self.plan
+        rate = plan.walker_fail_rate
+        if not rate:
+            return 0
+        fails = 0
+        limit = plan.walker_retry_limit
+        while fails <= limit and self._draw(SITE_WALKER_FAIL) < rate:
+            fails += 1
+        if fails:
+            self.stats.walker_faults_injected += 1
+        return fails
+
+    # ------------------------------------------------------------------ #
+    # IX-cache sites (trace-generation path)
+    # ------------------------------------------------------------------ #
+
+    def tag_corrupted(self) -> bool:
+        """Does this probe hit's range tag read corrupted?"""
+        plan = self.plan
+        if plan.tag_corrupt_rate and self._draw(SITE_TAG_CORRUPT) < plan.tag_corrupt_rate:
+            self.stats.tag_corruptions_injected += 1
+            return True
+        return False
+
+    def storm(self) -> bool:
+        """Does an invalidation storm hit before this walk's probe?"""
+        plan = self.plan
+        if plan.storm_rate and self._draw(SITE_STORM) < plan.storm_rate:
+            self.stats.storms_injected += 1
+            return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Observability
+    # ------------------------------------------------------------------ #
+
+    def attach_obs(self, registry) -> None:
+        """Bind the ledger under ``faults.*`` (snapshot-time sampling)."""
+        if registry is None:
+            return
+        stats = self.stats
+        for name in sorted(stats.to_dict()):
+            registry.bind(f"faults.{name}",
+                          lambda s=stats, f=name: getattr(s, f))
+
+    def finalize(self, num_walks: int) -> None:
+        """Stamp the no-lost-requests accounting after the engine run."""
+        self.stats.walks_total = num_walks
+        self.stats.walks_completed = num_walks - self.stats.walks_degraded

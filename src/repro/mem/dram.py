@@ -31,6 +31,9 @@ class DRAM:
         self.params = params or DRAMParams()
         self.stats = DRAMStats()
         self.tracer = NULL_TRACER
+        #: Optional FaultInjector (repro.faults). None on every fault-free
+        #: run: the timed path then pays exactly one predictable branch.
+        self.faults = None
         self._bank_free = [0] * self.params.banks
         self._open_row: list[int | None] = [None] * self.params.banks
         p = self.params
@@ -104,7 +107,15 @@ class DRAM:
             stats.row_misses += 1
             open_row[bank] = row
             row_hit = False
-        bank_free[bank] = start + self._t_occupancy
+        occupancy = self._t_occupancy
+        if self.faults is not None:
+            # Latency spikes lengthen this access's service time (and are
+            # attributed as dram_hit/dram_miss service cycles); bank stalls
+            # keep the bank busy longer, surfacing as dram_queue wait in
+            # whichever accesses pile up behind it.
+            latency += self.faults.dram_spike()
+            occupancy += self.faults.bank_stall()
+        bank_free[bank] = start + occupancy
         if self.tracer.enabled:
             # ``wait`` is the bank-queueing delay (cycles the request sat
             # behind a busy bank before starting) — the profiler's

@@ -50,6 +50,10 @@ CATEGORY_LABELS = {
     "dram_hit": "DRAM row-buffer hit",
     "dram_miss": "DRAM row-buffer miss",
     "compute": "search + compute",
+    # Extra category present only on fault-injected runs (repro.faults):
+    # walker retry backoff cycles. Fault-free profiles never carry it, so
+    # their attribution tables stay byte-identical.
+    "fault_retry": "fault retry backoff",
 }
 
 
@@ -95,14 +99,24 @@ class Profile:
     def total_attributed(self) -> int:
         return sum(self.totals.values())
 
+    def categories(self) -> tuple[str, ...]:
+        """The six fixed categories plus any extras this run carries.
+
+        Extras (``fault_retry`` on fault-injected runs) are appended in
+        sorted order; fault-free runs report exactly the fixed tuple.
+        """
+        extras = sorted(set(self.totals) - set(ATTRIBUTION_CATEGORIES))
+        return ATTRIBUTION_CATEGORIES + tuple(extras)
+
     def fractions(self) -> dict[str, float]:
         """Per-category share of total walk cycles."""
+        categories = self.categories()
         denom = self.total_walk_cycles
         if denom == 0:
-            return {category: 0.0 for category in ATTRIBUTION_CATEGORIES}
+            return {category: 0.0 for category in categories}
         return {
             category: self.totals.get(category, 0) / denom
-            for category in ATTRIBUTION_CATEGORIES
+            for category in categories
         }
 
     def latency_histogram(self, significant_bits: int = 5) -> Histogram:
@@ -117,7 +131,7 @@ class Profile:
             "makespan": self.makespan,
             "total_walk_cycles": self.total_walk_cycles,
             "attribution": {c: self.totals.get(c, 0)
-                            for c in ATTRIBUTION_CATEGORIES},
+                            for c in self.categories()},
             "fractions": self.fractions(),
             "latency": hist.to_dict(),
         }
@@ -161,6 +175,10 @@ def build_profile(tracer: Tracer, strict: bool = True) -> Profile:
                 "dram_miss": 0,
                 "compute": event.args.get("compute", 0),
             }
+            if "retry" in event.args:
+                # Fault-injected runs only: walker retry backoff cycles
+                # (the re-fetch DRAM cycles ride on dram_access events).
+                span.attribution["fault_retry"] = event.args["retry"]
             spans[event.walk] = span
         elif kind == "dram_access" and event.walk >= 0:
             # Demand access issued by a walk (prefetches carry walk=-1:
@@ -192,7 +210,7 @@ def build_profile(tracer: Tracer, strict: bool = True) -> Profile:
     for span in ordered:
         makespan = max(makespan, span.end)
         for category, cycles in span.attribution.items():
-            totals[category] += cycles
+            totals[category] = totals.get(category, 0) + cycles
     return Profile(spans=ordered, totals=totals, makespan=makespan,
                    dropped=tracer.dropped)
 
@@ -239,9 +257,9 @@ def format_profile(profile: Profile, title: str | None = None) -> str:
 
     fractions = profile.fractions()
     rows = [
-        [CATEGORY_LABELS[c], profile.totals.get(c, 0),
+        [CATEGORY_LABELS.get(c, c), profile.totals.get(c, 0),
          f"{fractions[c] * 100:.1f}%"]
-        for c in ATTRIBUTION_CATEGORIES
+        for c in profile.categories()
     ]
     rows.append(["total", profile.total_walk_cycles, "100.0%"])
     lines = [render_table(

@@ -13,6 +13,10 @@ the baseline geometry.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults -> params)
+    from repro.faults.plan import FaultPlan
 
 #: Cache block size used by every cache organization (paper: "All cache
 #: blocks are set to 64 bytes to ensure a fair comparison").
@@ -140,6 +144,10 @@ class SimParams:
     #: Ring-buffer capacity of the tracer (events beyond this are dropped
     #: oldest-first; per-kind counts stay exact).
     trace_buffer: int = 1 << 20
+    #: Deterministic fault-injection schedule (repro.faults.FaultPlan).
+    #: None — and, contractually, any plan whose rates are all zero —
+    #: leaves every hot path byte-identical to the fault-free simulator.
+    faults: "FaultPlan | None" = None
 
 
 DEFAULT_SIM = SimParams()

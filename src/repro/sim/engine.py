@@ -72,12 +72,26 @@ class Engine:
         self.dram = dram or DRAM(self.params.dram)
         self.xbar = Crossbar(self.params.xbar)
         self.tracer = NULL_TRACER
+        #: Optional FaultInjector (repro.faults). None on fault-free runs:
+        #: the lean untraced loop is then taken unchanged.
+        self.faults = None
 
     def attach_obs(self, tracer, registry=None) -> None:
         """Wire tracing through the engine, its DRAM, and its crossbar."""
         self.tracer = tracer
         self.dram.attach_obs(tracer, registry)
         self.xbar.attach_obs(tracer, registry)
+
+    def attach_faults(self, injector) -> None:
+        """Wire one FaultInjector through the engine, DRAM, and crossbar.
+
+        Faulted runs always take the general event loop (tracing on or
+        off), so the injection sites are visited in one canonical order
+        and the fault schedule cannot depend on observability settings.
+        """
+        self.faults = injector
+        self.dram.faults = injector
+        self.xbar.faults = injector
 
     @property
     def contexts(self) -> int:
@@ -92,7 +106,10 @@ class Engine:
         earliest event (``heappushpop`` only when another context is due).
         Both paths produce identical results — the traced loop keeps the
         straightforward one-event-per-iteration structure so event
-        ordering is obvious.
+        ordering is obvious. Faulted runs (``attach_faults``) always take
+        the general loop, tracing on or off, so the injection sites are
+        visited in one canonical order and observability settings cannot
+        perturb the fault schedule.
         """
         result = EngineResult(num_walks=len(traces))
         if not traces:
@@ -111,23 +128,29 @@ class Engine:
         makespan = 0
         tracer = self.tracer
         tracing = tracer.enabled
-        if not tracing:
+        faults = self.faults
+        if not tracing and faults is None:
             return self._run_untraced(
                 result, heap, queues, walk_idx, access_idx, walk_start,
                 record_latencies,
             )
         # Walk i sits at queues[i % contexts][i // contexts], so the
         # global walk ordinal is walk_idx * contexts + ctx.
-        for c in range(contexts):
-            if queues[c]:
-                tracer.emit("walk_start", ts=0, phase="engine",
-                            walk=c, ctx=c)
+        if tracing:
+            for c in range(contexts):
+                if queues[c]:
+                    tracer.emit("walk_start", ts=0, phase="engine",
+                                walk=c, ctx=c)
 
         # Per-context attribution accumulators (profiling): SRAM probe
         # service cycles and compute cycles of the in-flight walk. DRAM
-        # and crossbar components are carried by their own events.
+        # and crossbar components are carried by their own events. With
+        # faults attached, retry_acc carries the in-flight walk's backoff
+        # cycles and degraded marks a walk that needed the fallback path.
         probe_acc = [0] * contexts
         compute_acc = [0] * contexts
+        retry_acc = [0] * contexts
+        degraded = [False] * contexts
 
         while heap:
             now, ctx = heapq.heappop(heap)
@@ -148,6 +171,13 @@ class Engine:
                         now = self.dram.access(
                             access.address + offset, now, write=access.write
                         )
+                    if faults is not None:
+                        fails = faults.walker_failures()
+                        if fails:
+                            now = self._retry_walker_step(
+                                faults, access, now, fails,
+                                retry_acc, degraded, ctx,
+                            )
                 elif access.kind == "dram_prefetch":
                     # Prefetches consume bandwidth and bank occupancy but
                     # do not stall the issuing walker.
@@ -173,13 +203,24 @@ class Engine:
             if record_latencies:
                 result.walk_latencies.append(latency)
             makespan = max(makespan, now)
+            if faults is not None and degraded[ctx]:
+                faults.stats.walks_degraded += 1
             if tracing:
+                # The ``retry`` component exists only on faulted runs so
+                # fault-free traced output stays byte-identical.
+                extra = (
+                    {"retry": retry_acc[ctx], "degraded": degraded[ctx]}
+                    if faults is not None else {}
+                )
                 tracer.emit("walk_end", ts=now, phase="engine",
                             walk=walk_idx[ctx] * contexts + ctx,
                             ctx=ctx, latency=latency,
-                            probe=probe_acc[ctx], compute=compute_acc[ctx])
+                            probe=probe_acc[ctx], compute=compute_acc[ctx],
+                            **extra)
                 probe_acc[ctx] = 0
                 compute_acc[ctx] = 0
+            retry_acc[ctx] = 0
+            degraded[ctx] = False
             walk_idx[ctx] += 1
             access_idx[ctx] = 0
             walk_start[ctx] = now
@@ -191,6 +232,49 @@ class Engine:
 
         result.makespan = makespan
         return result
+
+    def _retry_walker_step(
+        self,
+        faults,
+        access: Access,
+        now: int,
+        fails: int,
+        retry_acc: list[int],
+        degraded: list[bool],
+        ctx: int,
+    ) -> int:
+        """Bounded retry-with-backoff for a transiently failed refill step.
+
+        The walker context's fetch returned garbage ``fails`` times in a
+        row: before re-fetch attempt ``i`` the context backs off
+        ``walker_backoff_cycles << i`` cycles, then re-issues the node's
+        DRAM accesses. Attempts within ``walker_retry_limit`` are clean
+        retries; a step that exhausts the budget completes through one
+        final degraded refetch and marks the walk degraded — the request
+        always finishes, it is never dropped.
+        """
+        stats = faults.stats
+        plan = faults.plan
+        backoff = plan.walker_backoff_cycles
+        dram_access = self.dram.access
+        nbytes = max(access.nbytes, 1)
+        address = access.address
+        write = access.write
+        for attempt in range(fails):
+            pause = backoff << attempt
+            now += pause
+            stats.retry_backoff_cycles += pause
+            retry_acc[ctx] += pause
+            for offset in range(0, nbytes, BLOCK_SIZE):
+                now = dram_access(address + offset, now, write=write)
+        limit = plan.walker_retry_limit
+        if fails > limit:
+            stats.retries += limit
+            stats.retries_exhausted += 1
+            degraded[ctx] = True
+        else:
+            stats.retries += fails
+        return now
 
     def _run_untraced(
         self,

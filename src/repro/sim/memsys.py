@@ -93,10 +93,17 @@ class MemorySystem(ABC):
     def __init__(self, sim: SimParams | None = None) -> None:
         self.sim = sim or SimParams()
         self.tracer = NULL_TRACER
+        #: Optional FaultInjector (repro.faults). None on fault-free runs;
+        #: only systems with corruptible state (the IX-cache) act on it.
+        self.faults = None
         # One immutable compute step shared by every walk: traces only
         # ever read Access objects, so the hot loops skip an allocation
         # per visited node.
         self._search_step = Access("compute", cycles=self.sim.t_search)
+
+    def attach_faults(self, injector) -> None:
+        """Wire a FaultInjector into the trace-generation path."""
+        self.faults = injector
 
     def attach_obs(self, tracer, registry=None) -> None:
         """Wire tracing through this system and its cache components.
@@ -472,12 +479,30 @@ class MetalMemSys(MemorySystem):
         self._track(index)
         ns = namespace_fn(index)
         height = index.height
+        faults = self.faults
+        if faults is not None and faults.storm():
+            # Invalidation storm: a span of key blocks around the probed
+            # key is invalidated wholesale (coherence storm / spurious
+            # structural-change signal), forcing re-misses.
+            cache = self.policy.cache
+            span = faults.plan.storm_span_blocks << cache.key_block_bits
+            center = ns(key)
+            faults.stats.storm_evictions += cache.invalidate_range(
+                max(0, center - span), center + span
+            )
         self.policy.begin_walk(index.index_id, key)
         accesses: list[Access] = [
             Access("sram", cycles=self.sim.t_ix_probe,
                    port=self.policy.cache.set_of(ns(key)))
         ]
         start = self.policy.probe(ns(key))
+        if start is not None and faults is not None and faults.tag_corrupted():
+            # The matched range tag failed its integrity check: trust
+            # nothing it covers — invalidate the entry and refetch via a
+            # full root-to-leaf walk (detected, recovered, accounted).
+            self.policy.cache.invalidate_range(ns(key), ns(key))
+            faults.stats.tag_refetches += 1
+            start = None
         if start is not None and not start.covers(key):
             # Stale hit: the index mutated under us and no invalidation
             # hook was wired. Fall back to a full walk.

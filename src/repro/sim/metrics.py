@@ -76,6 +76,10 @@ class RunResult:
     #: Probe-depth distribution: nodes visited per walk (always populated;
     #: identical with tracing on or off).
     depth_hist: Histogram | None = None
+    #: Fault-injection & resilience ledger (repro.faults.FaultStats
+    #: as a dict); None on fault-free runs, keeping to_dict byte-identical
+    #: to the pre-fault-layer serialization.
+    faults: dict[str, int] | None = None
 
     @property
     def avg_walk_latency(self) -> float:
@@ -172,6 +176,7 @@ class RunResult:
                 else {}
             ),
             **({"counters": self.counters} if self.counters is not None else {}),
+            **({"faults": self.faults} if self.faults is not None else {}),
         }
 
     @classmethod
@@ -210,6 +215,7 @@ class RunResult:
         latency_d = data.get("latency")
         depth_d = data.get("probe_depth")
         counters = data.get("counters")
+        faults = data.get("faults")
         return cls(
             name=data["system"],
             makespan=data["makespan"],
@@ -226,6 +232,7 @@ class RunResult:
             index_dram_accesses=data["index_dram_accesses"],
             baseline_index_accesses=data["baseline_index_accesses"],
             counters=dict(counters) if counters is not None else None,
+            faults=dict(faults) if faults is not None else None,
             latency_hist=(
                 Histogram.from_state(latency_d["state"]) if latency_d else None
             ),
@@ -310,6 +317,17 @@ def simulate(
     if tracing:
         registry = registry or Registry()
         memsys.attach_obs(tracer, registry)
+    # Fault injection: an injector exists only for a non-empty plan, so
+    # ``faults=None`` and an all-zero-rate plan take identical code paths
+    # (and produce byte-identical results) by construction.
+    injector = None
+    if sim.faults is not None and not sim.faults.is_empty:
+        from repro.faults import FaultInjector
+
+        injector = FaultInjector(sim.faults)
+        memsys.attach_faults(injector)
+        if tracing:
+            injector.attach_obs(registry)
     traces: list[WalkTrace] = []
     short = full = visited = 0
     index_dram = baseline = 0
@@ -354,10 +372,14 @@ def simulate(
         engine.attach_obs(tracer, registry)
         # The profiler and percentile gauges need per-walk latencies.
         record_latencies = True
+    if injector is not None:
+        engine.attach_faults(injector)
     if timed:
         result = engine.run(traces, record_latencies=record_latencies)
     else:
         result = engine.run_functional(traces, record_latencies=record_latencies)
+    if injector is not None:
+        injector.finalize(result.num_walks)
     latency_hist = (
         Histogram.from_values(result.walk_latencies)
         if result.walk_latencies else None
@@ -403,4 +425,5 @@ def simulate(
         tracer=tracer,
         latency_hist=latency_hist,
         depth_hist=depth_hist,
+        faults=injector.stats.to_dict() if injector is not None else None,
     )

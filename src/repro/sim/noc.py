@@ -25,6 +25,8 @@ class Crossbar:
         self.requests = 0
         self.total_wait = 0
         self.tracer = NULL_TRACER
+        #: Optional FaultInjector (repro.faults). None on fault-free runs.
+        self.faults = None
 
     def attach_obs(self, tracer, registry=None, prefix: str = "xbar") -> None:
         """Wire tracing and bind crossbar statistics into a registry."""
@@ -41,6 +43,10 @@ class Crossbar:
         """Arbitrate one probe; return its completion cycle."""
         port = self.port_of(token)
         start = max(now, self._port_free[port])
+        if self.faults is not None:
+            # A congestion burst delays service start: the slip is counted
+            # as arbitration wait, so it lands in xbar_stall attribution.
+            start += self.faults.noc_burst()
         self._port_free[port] = start + self.params.t_occupancy
         self.requests += 1
         self.total_wait += start - now

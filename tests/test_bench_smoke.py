@@ -186,6 +186,15 @@ def test_table3_summary():
     assert_rows(summary_mod.format_table3(summary_mod.run_summary(scale=SCALE)))
 
 
+@smokes("bench_chaos")
+def test_chaos():
+    from repro.bench import chaos
+
+    curve = chaos.run_chaos("scan", rates=(0.0, 0.05), scale=SCALE)
+    assert_rows(chaos.format_chaos(curve))
+    assert not chaos.check_graceful(curve)
+
+
 def test_every_bench_file_has_a_smoke_entry():
     bench_files = {path.stem for path in BENCH_DIR.glob("bench_*.py")}
     assert bench_files, "benchmarks/ directory went missing"

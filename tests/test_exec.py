@@ -232,6 +232,75 @@ def test_store_invalidates_on_version_change(tmp_path):
 
 
 # --------------------------------------------------------------------- #
+# FaultPlan digests & the exec store (satellite: faulted-spec caching)
+# --------------------------------------------------------------------- #
+
+def test_fault_plan_digest_stable():
+    from repro.faults import FaultPlan
+
+    plan = FaultPlan.uniform(0.05, seed=7)
+    assert plan.digest() == FaultPlan.uniform(0.05, seed=7).digest()
+    # A plan rebuilt from its own canonical items is the same plan.
+    assert FaultPlan(**dict(plan.items())).digest() == plan.digest()
+    assert plan.digest() != FaultPlan.uniform(0.05, seed=8).digest()
+    assert plan.digest() != FaultPlan.uniform(0.06, seed=7).digest()
+
+
+def test_faulted_and_unfaulted_specs_never_collide():
+    from repro.faults import FaultPlan
+
+    base = RunSpec.make("scan", "metal", scale=SMALL)
+    faulted = RunSpec.make("scan", "metal", scale=SMALL,
+                           faults=FaultPlan.uniform(0.05))
+    assert base.digest() != faulted.digest()
+    assert base.faults == ()
+    assert faulted.faults != ()
+    # Differing plans map to differing digests; identical plans collapse.
+    other = RunSpec.make("scan", "metal", scale=SMALL,
+                         faults=FaultPlan.uniform(0.1))
+    assert other.digest() != faulted.digest()
+    again = RunSpec.make("scan", "metal", scale=SMALL,
+                         faults=FaultPlan.uniform(0.05))
+    assert again == faulted and again.digest() == faulted.digest()
+    # An empty plan *is* "no faults": it must share the unfaulted digest
+    # so pre-fault-layer cache entries stay valid.
+    empty = RunSpec.make("scan", "metal", scale=SMALL, faults=())
+    assert empty == base and empty.digest() == base.digest()
+
+
+def test_fault_plan_roundtrips_through_spec():
+    from repro.faults import FaultPlan
+
+    plan = FaultPlan.uniform(0.05, seed=3, walker_retry_limit=2)
+    spec = RunSpec.make("scan", "metal", scale=SMALL, faults=plan)
+    rebuilt = spec.fault_plan()
+    assert rebuilt == plan
+    assert RunSpec.make("scan", "metal", scale=SMALL).fault_plan() is None
+
+
+def test_faulted_spec_roundtrips_store_byte_identically(tmp_path):
+    from repro.faults import FaultPlan
+
+    spec = RunSpec.make("scan", "metal", scale=SMALL,
+                        faults=FaultPlan.uniform(0.05, seed=2))
+    store = ResultStore(root=tmp_path)
+    with Executor(jobs=1, store=store) as cold:
+        (outcome,) = cold.run([spec])
+        assert cold.stats.computed == 1
+        cold_payload = outcome.payload
+    assert cold_payload["result"]["faults"]["faults_injected"] > 0
+    with Executor(jobs=1, store=ResultStore(root=tmp_path)) as warm:
+        (cached,) = warm.run([spec])
+        assert warm.stats.cache_hits == 1 and warm.stats.computed == 0
+        assert cached.cached
+    assert json.dumps(cold_payload, sort_keys=True) == \
+        json.dumps(cached.payload, sort_keys=True)
+    # The cached ledger revives into a RunResult with its faults intact.
+    revived = RunResult.from_dict(cached.payload["result"])
+    assert revived.faults == cold_payload["result"]["faults"]
+
+
+# --------------------------------------------------------------------- #
 # Report integration (satellite: cache summary line, --no-cache)
 # --------------------------------------------------------------------- #
 

@@ -248,6 +248,47 @@ class TestDisabledPath:
         assert plain.short_circuited == traced.short_circuited
 
 
+class TestFaultedTraceParity:
+    """Observability must not perturb the fault schedule: with a nonzero
+    ``FaultPlan``, the traced and untraced runs are the same simulation."""
+
+    def _faulted_run(self, trace: bool):
+        from repro.faults import FaultPlan
+
+        workload = build_workload(WORKLOAD, scale=SCALE, seed=0)
+        plan = FaultPlan.uniform(0.05, seed=4)
+        sim = replace(workload.config.sim_params(), trace=trace, faults=plan)
+        memsys = build_memsys("metal", workload, sim=sim)
+        return simulate(memsys, workload.requests, sim,
+                        workload.total_index_blocks, record_latencies=True)
+
+    def test_trace_on_off_to_dict_identical_under_faults(self):
+        off = self._faulted_run(trace=False).to_dict()
+        on = self._faulted_run(trace=True).to_dict()
+        # Counters exist only when tracing; everything else — makespan,
+        # latency histograms, and the fault ledger itself — must match
+        # byte for byte, or tracing forked the injection schedule.
+        assert off.pop("counters", None) is None
+        counters = on.pop("counters")
+        assert json.dumps(on, sort_keys=True) == json.dumps(
+            off, sort_keys=True)
+        # The ledger is also mirrored into faults.* gauges when traced.
+        ledger = on["faults"]
+        assert ledger["faults_injected"] > 0
+        for name, value in ledger.items():
+            assert counters[f"faults.{name}"] == value
+
+    def test_walk_end_events_carry_resilience_args(self):
+        run = self._faulted_run(trace=True)
+        ends = [e for e in run.tracer if e.kind == "walk_end"]
+        assert ends
+        assert all(
+            "retry" in e.args and "degraded" in e.args for e in ends
+        )
+        retried = sum(e.args["retry"] for e in ends)
+        assert retried == run.faults["retry_backoff_cycles"]
+
+
 class TestRingBuffer:
     def test_bounded_buffer_drops_but_counts_stay_exact(self):
         run = traced_run("metal", trace_buffer=64)
