@@ -1,0 +1,50 @@
+"""Saturation curve of the open-loop serving layer (repro.serve).
+
+Sweeps offered load over the calibrated client -> balancer -> 4-tile
+topology and asserts the queueing-theory shape the M/D/1 oracle tests
+pin analytically: flat latency below the knee, a tail blow-up past it,
+and throughput that saturates at the fleet's service capacity while
+utilization approaches 1.
+"""
+
+from conftest import run_once
+
+from repro.bench.serve import (
+    DEFAULT_LOADS,
+    format_serve,
+    run_serve_sweep,
+)
+
+
+def test_serve_saturation_curve(benchmark, bench_scale):
+    curve = run_once(
+        benchmark, run_serve_sweep, "scan", system="metal",
+        loads=DEFAULT_LOADS, scale=bench_scale, duration_ms=5,
+    )
+    print()
+    print(format_serve(curve))
+
+    points = {p.load: p for p in curve.points}
+    assert all(p.completed == p.offered > 0 for p in curve.points)
+
+    # The calibrated sweep must find its knee at or just past load 1.0.
+    knee = curve.knee()
+    assert knee is not None, "sweep never saturated"
+    assert knee >= 0.8, f"knee at load {knee:g} — calibration is off"
+
+    # Past saturation the tail blows up relative to light load...
+    lightest = curve.points[0]
+    heaviest = curve.points[-1]
+    assert heaviest.p99 > 10 * lightest.p99
+    # ...but throughput stops growing: the last two points are within a
+    # few percent of each other (the service ceiling), and well above
+    # the light-load completion rate.
+    ceiling = points[DEFAULT_LOADS[-2]].throughput_rps
+    assert abs(heaviest.throughput_rps - ceiling) < 0.1 * ceiling
+    assert heaviest.throughput_rps > 1.5 * lightest.throughput_rps
+
+    # Utilization ramps monotonically toward saturation.
+    utils = [p.utilization for p in curve.points]
+    assert all(b >= a - 0.02 for a, b in zip(utils, utils[1:]))
+    assert heaviest.utilization > 0.9
+    assert lightest.utilization < 0.5

@@ -1,0 +1,333 @@
+"""Saturation curves: SLO latency vs offered load for the serving layer.
+
+Sweeps the :class:`~repro.serve.spec.ServeSpec` ``load`` multiplier over
+one client -> balancer -> N-tile topology and reports the open-loop
+serving metrics — offered/completed requests, throughput, p50/p90/p99
+end-to-end latency, mean tile utilization — plus the **saturation knee**:
+the first swept load whose p99 exceeds :data:`KNEE_FACTOR` times the p99
+at the lightest load. Below the knee the service is latency-flat; past
+it, queueing dominates and the tail blows up (the M/D/1 oracle tests pin
+this behaviour against closed form).
+
+By default the sweep is *calibrated*: ``load=1.0`` is sized to the
+fleet's measured capacity (``tiles / mean service time``), so the knee
+lands in the same place regardless of workload, scale, or tile count.
+
+Serve cells are ordinary spec submissions, so they flow through the exec
+layer's dedup, process pool, and content-addressed cache unchanged. The
+curve also serializes to a committed baseline (``BENCH_serve.json``)
+that CI gates on, mirroring the perf-suite checksum gate.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.bench.format import render_table
+from repro.exec import Executor, default_executor
+from repro.serve.spec import ServeSpec
+
+#: The swept offered-load multipliers (1.0 = calibrated fleet capacity).
+DEFAULT_LOADS: tuple[float, ...] = (0.2, 0.4, 0.6, 0.8, 0.9, 1.0, 1.1, 1.3)
+
+#: A load is past the knee when its p99 exceeds this factor times the
+#: p99 at the lightest swept load.
+KNEE_FACTOR = 3.0
+
+#: Baseline-gate exit codes (mirror repro.perf.harness).
+EXIT_BASELINE_MISSING = 2
+EXIT_REGRESSED = 3
+
+#: Relative tolerance for baseline float/percentile comparison. The
+#: simulation is deterministic, but percentiles quantize (2^-7 buckets)
+#: and throughput divides by the makespan, so a loose-but-meaningful
+#: band beats bitwise fragility across platforms.
+BASELINE_RTOL = 0.05
+
+
+@dataclass
+class ServePoint:
+    """One swept load: SLO metrics distilled from a ServeResult payload."""
+
+    load: float
+    users: int
+    offered: int
+    completed: int
+    throughput_rps: float
+    mean_ns: float
+    p50: int
+    p90: int
+    p99: int
+    tile_wait_p99: int
+    utilization: float
+
+    @classmethod
+    def from_payload(cls, load: float, data: dict[str, Any]) -> "ServePoint":
+        lat = data["latency_ns"]
+        return cls(
+            load=load,
+            users=data["users"],
+            offered=data["offered"],
+            completed=data["completed"],
+            throughput_rps=data["throughput_rps"],
+            mean_ns=lat["mean"],
+            p50=lat["p50"],
+            p90=lat["p90"],
+            p99=lat["p99"],
+            tile_wait_p99=data["tile_wait_ns"]["p99"],
+            utilization=data["utilization"],
+        )
+
+
+@dataclass
+class ServeCurve:
+    """A full load sweep for one serving topology."""
+
+    workload: str
+    system: str
+    scale: float
+    seed: int
+    users: int
+    tiles: int
+    balancer: str
+    requests_per_min: float
+    duration_ms: int
+    points: list[ServePoint] = field(default_factory=list)
+
+    def knee(self, factor: float = KNEE_FACTOR) -> float | None:
+        """First swept load past the knee, or None if the sweep never
+        saturates."""
+        if not self.points:
+            return None
+        base = max(1, self.points[0].p99)
+        for point in self.points[1:]:
+            if point.p99 > factor * base:
+                return point.load
+        return None
+
+
+def serve_spec(
+    workload: str,
+    system: str,
+    load: float,
+    scale: float,
+    seed: int = 0,
+    users: int = 32,
+    tiles: int = 4,
+    balancer: str = "round_robin",
+    requests_per_min: float = 60.0,
+    duration_ms: int = 5,
+    tile_speedups: tuple[float, ...] = (),
+) -> ServeSpec:
+    """The ServeSpec for one swept point."""
+    return ServeSpec.make(
+        workload, system=system, scale=scale, seed=seed, users=users,
+        requests_per_min=requests_per_min, load=load, duration_ms=duration_ms,
+        tiles=tiles, balancer=balancer, tile_speedups=tile_speedups,
+    )
+
+
+def calibrated_rpm(
+    workload: str,
+    system: str,
+    scale: float,
+    seed: int,
+    users: int,
+    tiles: int,
+) -> float:
+    """Per-user requests/min at which ``load=1.0`` saturates the fleet.
+
+    ``tiles / mean_service`` is the aggregate service capacity; divided
+    across the mean population it gives the per-user rate. Rounded to 6
+    significant digits so the value embeds stably in spec digests.
+    """
+    from repro.sim.tile_backend import build_service_model
+
+    model = build_service_model(workload, system, scale, seed, tiles)
+    rpm = tiles * 60e9 / (model.mean_ns * users)
+    return float(f"{rpm:.6g}")
+
+
+def run_serve_sweep(
+    workload: str = "scan",
+    system: str = "metal",
+    loads: tuple[float, ...] = DEFAULT_LOADS,
+    scale: float = 0.05,
+    seed: int = 0,
+    users: int = 32,
+    tiles: int = 4,
+    balancer: str = "round_robin",
+    duration_ms: int = 5,
+    requests_per_min: float | None = None,
+    tile_speedups: tuple[float, ...] = (),
+    executor: Executor | None = None,
+) -> ServeCurve:
+    """Sweep offered load and collect one saturation curve.
+
+    ``requests_per_min=None`` calibrates the rate to the fleet capacity
+    (see :func:`calibrated_rpm`).
+    """
+    executor = executor or default_executor()
+    if requests_per_min is None:
+        requests_per_min = calibrated_rpm(
+            workload, system, scale, seed, users, tiles)
+    specs = [
+        serve_spec(workload, system, load, scale, seed=seed, users=users,
+                   tiles=tiles, balancer=balancer,
+                   requests_per_min=requests_per_min,
+                   duration_ms=duration_ms, tile_speedups=tile_speedups)
+        for load in loads
+    ]
+    outcomes = executor.run(specs)
+    curve = ServeCurve(
+        workload=workload, system=system, scale=scale, seed=seed,
+        users=users, tiles=tiles, balancer=balancer,
+        requests_per_min=requests_per_min, duration_ms=duration_ms,
+    )
+    curve.points = [
+        ServePoint.from_payload(load, outcome.check().data)
+        for load, outcome in zip(loads, outcomes)
+    ]
+    return curve
+
+
+def format_serve(curve: ServeCurve) -> str:
+    """Saturation-curve table, ready to print."""
+    knee = curve.knee()
+    rows = []
+    for point in curve.points:
+        rows.append([
+            point.load,
+            point.offered,
+            f"{point.throughput_rps / 1e6:.3f}M",
+            round(point.mean_ns / 1e3, 1),
+            round(point.p50 / 1e3, 1),
+            round(point.p90 / 1e3, 1),
+            round(point.p99 / 1e3, 1),
+            round(point.tile_wait_p99 / 1e3, 1),
+            f"{point.utilization * 100:.1f}%",
+            "<-- knee" if knee is not None and point.load == knee else "",
+        ])
+    title = (
+        f"Saturation curve ({curve.workload}/{curve.system}@{curve.scale:g}, "
+        f"{curve.users} users x {curve.requests_per_min:.4g} req/min, "
+        f"{curve.tiles} tiles, {curve.balancer}) — knee at "
+        f"{'load ' + format(knee, 'g') if knee is not None else 'none found'}"
+    )
+    return render_table(
+        ["load", "offered", "rps", "mean us", "p50 us", "p90 us",
+         "p99 us", "tile wait p99 us", "util", ""],
+        rows, title,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Committed baseline (CI serve-smoke gate)
+# --------------------------------------------------------------------- #
+
+def curve_to_baseline(curve: ServeCurve) -> dict[str, Any]:
+    """The JSON shape committed as ``BENCH_serve.json``."""
+    return {
+        "workload": curve.workload,
+        "system": curve.system,
+        "scale": curve.scale,
+        "seed": curve.seed,
+        "users": curve.users,
+        "tiles": curve.tiles,
+        "balancer": curve.balancer,
+        "requests_per_min": curve.requests_per_min,
+        "duration_ms": curve.duration_ms,
+        "knee": curve.knee(),
+        "rtol": BASELINE_RTOL,
+        "points": [
+            {
+                "load": p.load,
+                "offered": p.offered,
+                "throughput_rps": p.throughput_rps,
+                "p50": p.p50,
+                "p90": p.p90,
+                "p99": p.p99,
+                "utilization": p.utilization,
+            }
+            for p in curve.points
+        ],
+    }
+
+
+def _close(measured: float, expected: float, rtol: float) -> bool:
+    return abs(measured - expected) <= rtol * max(abs(expected), 1e-12)
+
+
+def check_serve_baseline(
+    curve: ServeCurve, baseline: dict[str, Any],
+    rtol: float | None = None,
+) -> list[str]:
+    """Compare a fresh sweep against a committed baseline.
+
+    Returns human-readable problems; empty means every swept point's
+    latency percentiles, throughput, and utilization sit within ``rtol``
+    of the baseline and the knee landed on the same load.
+    """
+    problems: list[str] = []
+    rtol = baseline.get("rtol", BASELINE_RTOL) if rtol is None else rtol
+    for key in ("workload", "system", "scale", "seed", "users", "tiles",
+                "balancer", "duration_ms"):
+        mine = getattr(curve, key)
+        theirs = baseline.get(key)
+        if mine != theirs:
+            problems.append(
+                f"config mismatch: {key} is {mine!r}, baseline has {theirs!r}")
+    if problems:
+        return problems
+    base_points = baseline.get("points", [])
+    if len(base_points) != len(curve.points):
+        return [f"baseline has {len(base_points)} points, "
+                f"sweep has {len(curve.points)}"]
+    for mine, theirs in zip(curve.points, base_points):
+        if mine.load != theirs["load"]:
+            problems.append(
+                f"load grid drifted: {mine.load:g} vs {theirs['load']:g}")
+            continue
+        if mine.offered != theirs["offered"]:
+            problems.append(
+                f"load {mine.load:g}: offered {mine.offered} != "
+                f"baseline {theirs['offered']} (arrival stream changed)")
+        for key in ("p50", "p90", "p99", "throughput_rps", "utilization"):
+            measured = getattr(mine, key)
+            expected = theirs[key]
+            if not _close(measured, expected, rtol):
+                problems.append(
+                    f"load {mine.load:g}: {key} {measured:g} outside "
+                    f"{rtol:.0%} of baseline {expected:g}")
+    knee = curve.knee()
+    if knee != baseline.get("knee"):
+        problems.append(
+            f"saturation knee moved: {knee!r} vs baseline "
+            f"{baseline.get('knee')!r}")
+    return problems
+
+
+def load_baseline(path: str) -> dict[str, Any] | None:
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def write_baseline(curve: ServeCurve, path: str) -> None:
+    with open(path, "w") as f:
+        json.dump(curve_to_baseline(curve), f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+def main() -> None:  # pragma: no cover
+    for balancer in ("round_robin", "least_loaded"):
+        print(format_serve(run_serve_sweep(balancer=balancer)))
+        print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -20,6 +20,12 @@ Subcommands:
 * ``chaos``     — sweep a deterministic fault-injection rate over one
   workload/system cell (repro.faults) and print the resilience curve;
   exits nonzero unless degradation is graceful and no request is lost.
+* ``serve``     — open-loop serving simulation (repro.serve): a Poisson
+  user population drives a client -> load-balancer -> N-tile topology
+  (each tile one simulated METAL instance) across a load sweep, and the
+  report shows p50/p90/p99 end-to-end latency, throughput, utilization,
+  and the saturation knee; ``--baseline`` gates against a committed
+  saturation curve.
 """
 
 from __future__ import annotations
@@ -334,6 +340,78 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.bench.serve import (
+        EXIT_BASELINE_MISSING,
+        EXIT_REGRESSED,
+        check_serve_baseline,
+        curve_to_baseline,
+        format_serve,
+        load_baseline,
+        run_serve_sweep,
+        write_baseline,
+    )
+    from repro.exec import Executor
+
+    if _reject_unknown_systems((args.system,)):
+        return 2
+    try:
+        loads = tuple(float(v) for v in args.loads.split(","))
+    except ValueError:
+        loads = ()
+    if not loads or any(not v > 0 for v in loads):
+        print(f"invalid --loads {args.loads!r} (want comma-separated "
+              f"positive floats)", file=sys.stderr)
+        return 2
+    skew: tuple[float, ...] = ()
+    if args.skew:
+        try:
+            skew = tuple(float(v) for v in args.skew.split(","))
+        except ValueError:
+            skew = ()
+        if len(skew) != args.tiles or any(not v > 0 for v in skew):
+            print(f"invalid --skew {args.skew!r} (want {args.tiles} "
+                  f"comma-separated positive floats)", file=sys.stderr)
+            return 2
+    with Executor(jobs=args.jobs) as executor:
+        curve = run_serve_sweep(
+            workload=args.workload, system=args.system, loads=loads,
+            scale=args.scale, seed=args.seed, users=args.users,
+            tiles=args.tiles, balancer=args.balancer,
+            duration_ms=args.duration_ms, requests_per_min=args.rpm,
+            tile_speedups=skew, executor=executor,
+        )
+    print(format_serve(curve))
+    if args.json:
+        import json
+
+        with open(args.json, "w") as f:
+            json.dump(curve_to_baseline(curve), f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"curve data written to {args.json}")
+    if args.write_baseline:
+        path = args.baseline or "BENCH_serve.json"
+        write_baseline(curve, path)
+        print(f"serve baseline written to {path}")
+        return 0
+    if args.baseline is not None:
+        baseline = load_baseline(args.baseline)
+        if baseline is None:
+            print(f"baseline {args.baseline} missing or unreadable",
+                  file=sys.stderr)
+            return EXIT_BASELINE_MISSING
+        problems = check_serve_baseline(curve, baseline)
+        if problems:
+            print("\nSATURATION CURVE REGRESSED vs baseline:",
+                  file=sys.stderr)
+            for problem in problems:
+                print(f"  - {problem}", file=sys.stderr)
+            return EXIT_REGRESSED
+        print("\nbaseline check: curve matches the committed saturation "
+              "curve (knee and SLO metrics within tolerance)")
+    return 0
+
+
 def cmd_ablation(args: argparse.Namespace) -> int:
     from repro.bench import ablation
 
@@ -432,6 +510,48 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=str, default="1",
                    help="worker processes: a number or 'auto'")
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
+        "serve",
+        help="open-loop serving load sweep with saturation knee "
+             "(repro.serve)",
+    )
+    p.add_argument("workload", choices=sorted(WORKLOAD_BUILDERS))
+    p.add_argument("--system", default="metal",
+                   help="memory system each tile runs (default: metal)")
+    p.add_argument("--scale", type=float, default=0.05,
+                   help="workload scale of the per-tile backend simulation")
+    p.add_argument("--seed", type=int, default=0,
+                   help="master seed (population, arrival streams)")
+    p.add_argument("--users", type=int, default=32,
+                   help="mean active users (Poisson population)")
+    p.add_argument("--rpm", type=float, default=None,
+                   help="requests/min per user (default: calibrate so "
+                        "load 1.0 saturates the fleet)")
+    p.add_argument("--tiles", type=int, default=4,
+                   help="tiles behind the load balancer")
+    p.add_argument("--balancer", default="round_robin",
+                   choices=("round_robin", "least_loaded"))
+    p.add_argument("--skew", type=str, default=None,
+                   help="comma-separated per-tile speed multipliers "
+                        "(skewed-fleet balancer studies)")
+    p.add_argument("--duration-ms", type=int, default=5,
+                   help="arrival-generation horizon per swept load")
+    p.add_argument("--loads", type=str,
+                   default="0.2,0.4,0.6,0.8,0.9,1.0,1.1,1.3",
+                   help="comma-separated offered-load multipliers")
+    p.add_argument("--jobs", type=str, default="1",
+                   help="worker processes: a number or 'auto'")
+    p.add_argument("--json", type=str, default=None,
+                   help="write machine-readable curve data to this file")
+    p.add_argument("--baseline", type=str, nargs="?",
+                   const="BENCH_serve.json", default=None,
+                   help="compare against this committed saturation curve "
+                        "(bare --baseline means BENCH_serve.json); exit 2 "
+                        "if missing, 3 on regression")
+    p.add_argument("--write-baseline", action="store_true",
+                   help="(re)write the --baseline file from this sweep")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("ablation", help="design-choice ablations")
     p.add_argument("--workload", default="scan", choices=sorted(WORKLOAD_BUILDERS))

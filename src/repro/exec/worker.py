@@ -171,6 +171,11 @@ def _execute_dynamic_mix(spec: RunSpec) -> dict[str, Any]:
 def execute_spec(spec: RunSpec) -> dict[str, Any]:
     """Run one spec and return its JSON-normalized payload.
 
+    Dispatches on ``spec.op``, so any frozen canonically-hashed spec
+    type with the RunSpec duck interface (``digest``/``canonical_dict``/
+    ``label``/``op``) rides the same dedup/pool/store machinery —
+    :class:`repro.serve.spec.ServeSpec` is the second such type.
+
     Seeds the module-level RNG from the spec digest first: any stray
     ``random`` use downstream is deterministic per spec, independent of
     which worker runs it or what ran before.
@@ -180,6 +185,10 @@ def execute_spec(spec: RunSpec) -> dict[str, Any]:
         payload = _execute_run(spec)
     elif spec.op == "dynamic_mix":
         payload = _execute_dynamic_mix(spec)
+    elif spec.op == "serve":
+        from repro.serve.engine import execute_serve
+
+        payload = execute_serve(spec)
     else:
         raise ValueError(f"unknown spec op {spec.op!r}")
     # Normalize through JSON so live, pooled, and cached results are

@@ -179,3 +179,40 @@ def engine_series(
             row["xbar_wait"],
         ])
     return series
+
+
+def request_series(
+    completions: list[tuple[int, int]],
+    windows: int = 50,
+) -> Series:
+    """Completion-time samples for an online run (the serving layer).
+
+    ``completions`` is ``(completion_time, latency)`` per request, any
+    time unit. The horizon up to the last completion is split into
+    ``windows`` equal windows; each row reports the window end, the
+    completions inside it, and the mean/max latency of those
+    completions — the classic throughput/latency-over-time view of a
+    load test. Pure and deterministic: rows depend only on the inputs.
+    """
+    if windows <= 0:
+        raise ValueError("windows must be positive")
+    series = Series("request_series", [
+        "t_end", "completions", "mean_latency", "max_latency",
+    ])
+    if not completions:
+        return series
+    horizon = max(t for t, _ in completions)
+    width = max(1, -(-horizon // windows))  # ceil division
+    binned: dict[int, list[int]] = {}
+    for t_done, latency in completions:
+        binned.setdefault(min((t_done - 1) // width, windows - 1)
+                          if t_done > 0 else 0, []).append(latency)
+    for bucket in range(windows):
+        lats = binned.get(bucket)
+        series.rows.append([
+            (bucket + 1) * width,
+            len(lats) if lats else 0,
+            sum(lats) / len(lats) if lats else 0.0,
+            max(lats) if lats else 0,
+        ])
+    return series

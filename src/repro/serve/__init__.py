@@ -1,0 +1,48 @@
+"""repro.serve — open-loop serving simulation over the tile backend.
+
+Models the DSA + IX-cache simulator as an online service: a seeded
+Poisson user population (mean users x requests/min) feeds a
+client -> load-balancer -> N-tile topology where each tile replays the
+walk-latency distribution of one simulated METAL instance
+(:mod:`repro.sim.tile_backend`). Output is SLO-style: p50/p90/p99
+end-to-end latency, throughput, per-tile utilization, and — via the
+load sweep in :mod:`repro.bench.serve` / ``python -m repro serve`` —
+the saturation knee as offered load rises.
+
+:class:`ServeSpec` is frozen and canonically hashed, so serving runs
+flow through the exec layer's dedup, process pool, and result store
+exactly like :class:`~repro.exec.spec.RunSpec` cells do. Because the
+topology is a seeded queueing simulation, it is testable against
+closed-form queueing theory (see ``tests/test_serve_oracle.py``).
+"""
+
+from repro.serve.arrivals import (
+    AGGREGATE_LIMIT,
+    exponential_gaps,
+    merged_arrivals,
+    population_size,
+    uniform,
+    user_arrivals,
+)
+from repro.serve.engine import (
+    ServeResult,
+    TileLoad,
+    execute_serve,
+    simulate_serve,
+)
+from repro.serve.spec import BALANCERS, ServeSpec
+
+__all__ = [
+    "AGGREGATE_LIMIT",
+    "BALANCERS",
+    "ServeResult",
+    "ServeSpec",
+    "TileLoad",
+    "execute_serve",
+    "exponential_gaps",
+    "merged_arrivals",
+    "population_size",
+    "simulate_serve",
+    "uniform",
+    "user_arrivals",
+]

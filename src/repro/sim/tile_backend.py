@@ -1,0 +1,110 @@
+"""Tile backend adapter: the event engine as an online-service backend.
+
+The serving layer (:mod:`repro.serve`) models each tile of the
+client -> load-balancer -> N-tile topology as one METAL instance. Rather
+than co-simulating N copies of the event engine inside the queueing
+loop, the adapter runs the per-tile cell **once** — the ordinary
+``simulate(..., record_latencies=True)`` path — and replays its per-walk
+latency sequence as the tile's per-request service times. Each tile
+reads the same measured distribution from a different phase offset, so
+tiles are statistically identical but not in lockstep, and a tile's
+``speedup`` multiplier rescales its service times (skewed-fleet
+scenarios for the balancer studies).
+
+Cycles convert to serving-layer nanoseconds at :data:`CLOCK_MHZ` (a
+2 GHz DSA clock, matching the paper's ~1 ns Fig. 7 tag-match budget at
+2 cycles/ns). Everything here is deterministic: same (workload, system,
+scale, seed) => same service sequence, on any machine.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+#: DSA clock used to convert engine cycles to wall-clock nanoseconds.
+CLOCK_MHZ = 2_000
+
+#: Per-process model memo (mirrors repro.exec.worker's workload memo):
+#: a load sweep revisits the same backend cell once per swept load.
+_MODEL_MEMO: OrderedDict[tuple, "TileServiceModel"] = OrderedDict()
+_MEMO_LIMIT = 8
+
+
+def cycles_to_ns(cycles: int, clock_mhz: int = CLOCK_MHZ) -> int:
+    """Integer nanoseconds for ``cycles`` at ``clock_mhz`` (>= 1)."""
+    return max(1, (cycles * 1_000 + clock_mhz // 2) // clock_mhz)
+
+
+class TileServiceModel:
+    """Per-tile service-time streams replayed from one simulated run."""
+
+    __slots__ = ("base_ns", "tiles", "_offsets")
+
+    def __init__(self, base_ns: list[int], tiles: int) -> None:
+        if not base_ns:
+            raise ValueError("service model needs at least one latency sample")
+        if tiles < 1:
+            raise ValueError("tiles must be >= 1")
+        self.base_ns = base_ns
+        self.tiles = tiles
+        stride = len(base_ns) // tiles
+        self._offsets = [tile * stride for tile in range(tiles)]
+
+    @property
+    def mean_ns(self) -> float:
+        """Mean unscaled service time — the capacity-calibration anchor."""
+        return sum(self.base_ns) / len(self.base_ns)
+
+    def service_ns(self, tile: int, k: int, speedup: float = 1.0) -> int:
+        """Service time of tile ``tile``'s ``k``-th request (int ns >= 1)."""
+        base = self.base_ns[(self._offsets[tile] + k) % len(self.base_ns)]
+        if speedup == 1.0:
+            return base
+        return max(1, round(base / speedup))
+
+
+def build_service_model(
+    workload: str,
+    system: str,
+    scale: float,
+    seed: int,
+    tiles: int,
+    clock_mhz: int = CLOCK_MHZ,
+) -> TileServiceModel:
+    """Simulate the backend cell once and wrap its walk latencies.
+
+    Uses the exec worker's memoized workload builder, so a serve sweep
+    (and the worker processes executing it) build the big index
+    structures once per process. Imports stay local: ``repro.sim`` is
+    imported by the bench layer, not the other way around.
+    """
+    key = (workload, system, scale, seed, tiles, clock_mhz)
+    model = _MODEL_MEMO.get(key)
+    if model is not None:
+        _MODEL_MEMO.move_to_end(key)
+        return model
+
+    from repro.bench.runner import build_memsys
+    from repro.exec.spec import RunSpec
+    from repro.exec.worker import _get_workload
+    from repro.sim.metrics import simulate
+
+    spec = RunSpec(workload=workload, system=system, scale=scale, seed=seed)
+    built = _get_workload(spec)
+    memsys = build_memsys(system, built, None, built.config.sim_params())
+    result = simulate(
+        memsys, built.requests, memsys.sim, built.total_index_blocks,
+        record_latencies=True,
+    )
+    base_ns = [cycles_to_ns(lat, clock_mhz) for lat in result.walk_latencies]
+    model = TileServiceModel(base_ns, tiles)
+    _MODEL_MEMO[key] = model
+    _MODEL_MEMO.move_to_end(key)
+    while len(_MODEL_MEMO) > _MEMO_LIMIT:
+        _MODEL_MEMO.popitem(last=False)
+    return model
+
+
+def clear_model_memo() -> None:
+    """Forget memoized service models (tests force fresh builds)."""
+    _MODEL_MEMO.clear()

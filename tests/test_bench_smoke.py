@@ -195,6 +195,43 @@ def test_chaos():
     assert not chaos.check_graceful(curve)
 
 
+@smokes("bench_serve")
+def test_serve():
+    from repro.bench import serve as serve_mod
+
+    curve = serve_mod.run_serve_sweep(
+        "scan", loads=(0.5, 1.3), scale=SCALE, duration_ms=2)
+    assert_rows(serve_mod.format_serve(curve))
+    assert all(p.completed == p.offered > 0 for p in curve.points)
+    # The calibrated sweep keeps its physics at any scale: the past-
+    # saturation point queues harder than the half-load point.
+    assert curve.points[1].p99 >= curve.points[0].p99
+
+
+def test_serve_least_loaded_beats_round_robin_on_skew():
+    """With half the fleet running at quarter speed, a backlog-aware
+    balancer must not lose to blind round-robin on tail latency."""
+    from repro.bench import serve as serve_mod
+
+    kwargs = dict(loads=(0.6,), scale=SCALE, duration_ms=2,
+                  tile_speedups=(1.0, 0.25, 1.0, 0.25))
+    rr = serve_mod.run_serve_sweep("scan", balancer="round_robin", **kwargs)
+    ll = serve_mod.run_serve_sweep("scan", balancer="least_loaded", **kwargs)
+    assert ll.points[0].p99 <= rr.points[0].p99
+
+
+def test_serve_cli_end_to_end(capsys):
+    """`python -m repro serve` at smoke scale: runs, prints the curve."""
+    from repro.cli import main
+
+    rc = main(["serve", "scan", "--scale", "0.01", "--duration-ms", "2",
+               "--loads", "0.5,1.0"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "Saturation curve" in out
+    assert_rows(out)
+
+
 def test_every_bench_file_has_a_smoke_entry():
     bench_files = {path.stem for path in BENCH_DIR.glob("bench_*.py")}
     assert bench_files, "benchmarks/ directory went missing"

@@ -1,0 +1,197 @@
+"""Serving specs through the exec pipeline: hashing, dedup, pool, store.
+
+ServeSpec is a second spec type flowing through the same executor that
+runs RunSpec — these tests pin the contract that makes that safe: stable
+content hashes that discriminate every field, byte-identical payloads
+across serial / process-pool / warm-cache execution, and clean
+coexistence with plain simulation specs in one batch.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exec import Executor, ResultStore
+from repro.exec.spec import RunSpec
+from repro.exec.worker import clear_workload_memo
+from repro.serve import ServeResult, ServeSpec, execute_serve, simulate_serve
+from repro.sim.tile_backend import clear_model_memo
+
+SMALL = 0.01
+
+
+def _spec(**overrides) -> ServeSpec:
+    # ~1e5 requests/s per user over a 1 ms horizon: a few hundred
+    # arrivals — enough traffic to exercise every station, fast to run.
+    kwargs = dict(scale=SMALL, users=4, tiles=2, duration_ms=1,
+                  requests_per_min=6_000_000.0, timeline_windows=8)
+    kwargs.update(overrides)
+    return ServeSpec.make("scan", **kwargs)
+
+
+# --------------------------------------------------------------------- #
+# ServeSpec hashing
+# --------------------------------------------------------------------- #
+
+def test_serve_spec_digest_is_stable_and_hex():
+    spec = _spec()
+    digest = spec.digest()
+    assert len(digest) == 64
+    int(digest, 16)
+    assert _spec().digest() == digest
+
+
+def test_serve_spec_digest_distinguishes_every_knob():
+    base = _spec()
+    variants = [
+        _spec(seed=1), _spec(load=1.5), _spec(users=5), _spec(tiles=3),
+        _spec(balancer="least_loaded"), _spec(population="fixed"),
+        _spec(duration_ms=2), _spec(requests_per_min=6_000_001.0),
+        _spec(tile_speedups=(1.0, 0.5)), _spec(lb_service_ns=20),
+        _spec(backend="fixed", service_ns=500), _spec(timeline_windows=0),
+    ]
+    digests = {base.digest()} | {v.digest() for v in variants}
+    assert len(digests) == len(variants) + 1
+
+
+def test_serve_spec_never_collides_with_run_spec():
+    serve = _spec()
+    run = RunSpec.make("scan", "metal", scale=SMALL)
+    assert serve.digest() != run.digest()
+    assert serve.canonical_dict()["op"] == "serve"
+
+
+def test_serve_spec_is_frozen_and_hashable():
+    spec = _spec()
+    assert spec in {spec}
+    with pytest.raises(AttributeError):
+        spec.load = 2.0
+
+
+def test_serve_spec_normalizes_speedups():
+    a = _spec(tile_speedups=[1, 2])
+    b = _spec(tile_speedups=(1.0, 2.0))
+    assert a == b and a.digest() == b.digest()
+
+
+def test_serve_spec_validation():
+    with pytest.raises(ValueError):
+        _spec(balancer="random")
+    with pytest.raises(ValueError):
+        _spec(tiles=0)
+    with pytest.raises(ValueError):
+        _spec(load=0.0)
+    with pytest.raises(ValueError):
+        _spec(backend="fixed")  # needs service_ns >= 1
+    with pytest.raises(ValueError):
+        _spec(tile_speedups=(1.0,))  # wrong arity for 2 tiles
+    with pytest.raises(ValueError):
+        _spec(client_lb_ns=-1)
+
+
+# --------------------------------------------------------------------- #
+# ServeResult round-trip
+# --------------------------------------------------------------------- #
+
+def test_serve_result_roundtrip_byte_identical():
+    result = simulate_serve(_spec())
+    first = result.to_dict()
+    wire = json.loads(json.dumps(first))
+    second = ServeResult.from_dict(wire).to_dict()
+    assert json.dumps(first, sort_keys=True) == \
+        json.dumps(second, sort_keys=True)
+
+
+def test_serve_result_roundtrip_preserves_histograms_and_timeline():
+    result = simulate_serve(_spec())
+    restored = ServeResult.from_dict(json.loads(json.dumps(result.to_dict())))
+    assert restored.latency.count == result.latency.count
+    assert restored.latency.percentile(99) == result.latency.percentile(99)
+    assert restored.tile_wait.total == result.tile_wait.total
+    assert restored.timeline is not None
+    assert restored.timeline.rows == result.timeline.rows
+
+
+# --------------------------------------------------------------------- #
+# Executor equivalence: serial == pool == warm cache, byte for byte
+# --------------------------------------------------------------------- #
+
+def _sweep_specs() -> list[ServeSpec]:
+    # >= 2 distinct specs so the executor actually exercises the pool
+    # (single-pending batches run inline regardless of jobs).
+    return [_spec(load=load) for load in (0.5, 1.0, 1.5)]
+
+
+def test_serve_serial_pool_and_cache_byte_identical(tmp_path):
+    specs = _sweep_specs()
+    store = ResultStore(root=tmp_path)
+    with Executor(jobs=1, store=store) as serial:
+        serial_payloads = [o.check().payload for o in serial.run(specs)]
+        assert serial.stats.computed == len(specs)
+
+    clear_workload_memo()
+    clear_model_memo()
+    with Executor(jobs=4) as pool:
+        pool_payloads = [o.check().payload for o in pool.run(specs)]
+
+    with Executor(jobs=1, store=ResultStore(root=tmp_path)) as warm:
+        outcomes = warm.run(specs)
+        assert warm.stats.computed == 0
+        assert warm.stats.cache_hits == len(specs)
+        cached_payloads = [o.check().payload for o in outcomes]
+        assert all(o.cached for o in outcomes)
+
+    canon = lambda p: json.dumps(p, sort_keys=True)
+    assert canon(serial_payloads) == canon(pool_payloads)
+    assert canon(serial_payloads) == canon(cached_payloads)
+
+
+def test_serve_executor_dedups_identical_specs():
+    spec = _spec()
+    with Executor(jobs=1) as ex:
+        first, second = ex.run([spec, _spec()])
+        assert ex.stats.requested == 2
+        assert ex.stats.computed == 1
+        assert ex.stats.deduped == 1
+    assert first.payload == second.payload
+
+
+def test_mixed_run_and_serve_batch():
+    """One batch can carry both spec types; each dispatches to its op."""
+    serve = _spec()
+    run = RunSpec.make("scan", "stream", scale=SMALL)
+    with Executor(jobs=1) as ex:
+        serve_out, run_out = ex.run([serve, run])
+    assert serve_out.check().payload["op"] == "serve"
+    assert run_out.check().payload["op"] == "run"
+    restored = ServeResult.from_dict(serve_out.data)
+    assert restored.completed == restored.offered > 0
+
+
+def test_execute_serve_payload_shape():
+    payload = execute_serve(_spec())
+    assert payload["op"] == "serve"
+    assert payload["extras"] == {}
+    data = payload["data"]
+    assert data["completed"] == data["offered"] > 0
+    assert {"latency_ns", "tile_wait_ns", "tiles", "timeline"} <= set(data)
+    # Payload is JSON-pure: a dump/load cycle is the identity.
+    assert json.loads(json.dumps(payload)) == payload
+
+
+def test_serve_store_rejects_spec_mismatch(tmp_path):
+    """A store entry is keyed by digest *and* verified against the
+    spec's canonical form — a stale entry under the right path but the
+    wrong spec reads as a miss."""
+    spec = _spec()
+    store = ResultStore(root=tmp_path)
+    with Executor(jobs=1, store=store) as ex:
+        ex.run([spec])
+    assert store.get(spec) is not None
+    path = store.path_for(spec)
+    entry = json.loads(path.read_text())
+    entry["spec"]["seed"] = 999
+    path.write_text(json.dumps(entry))
+    assert ResultStore(root=tmp_path).get(spec) is None
