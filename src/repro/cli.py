@@ -25,7 +25,12 @@ Subcommands:
   (each tile one simulated METAL instance) across a load sweep, and the
   report shows p50/p90/p99 end-to-end latency, throughput, utilization,
   and the saturation knee; ``--baseline`` gates against a committed
-  saturation curve.
+  saturation curve. Serving observability rides on the same command:
+  ``--trace`` records per-request span trees and prints the tail-latency
+  attribution, ``--spans-out`` exports them as a Perfetto trace,
+  ``--series-out``/``--windows-out`` write windowed time-series CSVs,
+  and ``--slo NS`` evaluates a latency objective (attainment % and
+  error-budget burn per load point).
 """
 
 from __future__ import annotations
@@ -340,6 +345,68 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_tagged(path: str, load: float, multi: bool) -> str:
+    """Insert a ``_load<g>`` tag before the extension for multi-load
+    sweeps so every swept point gets its own artifact file."""
+    if not multi:
+        return path
+    stem, dot, ext = path.rpartition(".")
+    if dot:
+        return f"{stem}_load{load:g}.{ext}"
+    return f"{path}_load{load:g}"
+
+
+def _serve_span_reports(args: argparse.Namespace, curve, loads) -> int:
+    """Span-derived artifacts and reports for a traced serve sweep."""
+    from repro.obs.export import write_serve_trace
+    from repro.obs.series import request_series, serve_windows
+    from repro.obs.spans import (
+        format_tail_attribution,
+        reconcile_spans,
+        tail_attribution,
+    )
+    from repro.serve import ServeResult
+
+    results = [ServeResult.from_dict(data) for data in curve.results]
+    for load, result in zip(loads, results):
+        assert result.spans is not None
+        problems = reconcile_spans(result.spans, result)
+        if problems:
+            print(f"\nSPAN TREES DO NOT RECONCILE at load {load:g}:",
+                  file=sys.stderr)
+            for problem in problems:
+                print(f"  - {problem}", file=sys.stderr)
+            return 1
+    multi = len(results) > 1
+    for load, result in zip(loads, results):
+        log = result.spans
+        if args.spans_out:
+            path = _load_tagged(args.spans_out, load, multi)
+            write_serve_trace(log, path, meta={
+                "workload": curve.workload, "system": curve.system,
+                "load": load, "balancer": curve.balancer,
+            })
+            print(f"span trace for load {load:g} written to {path} "
+                  f"(open at https://ui.perfetto.dev)")
+        if args.series_out:
+            path = _load_tagged(args.series_out, load, multi)
+            request_series(log.completions(),
+                           windows=args.windows).write_csv(path)
+            print(f"completion series for load {load:g} written to {path}")
+        if args.windows_out:
+            path = _load_tagged(args.windows_out, load, multi)
+            serve_windows(log, windows=args.windows,
+                          tiles=curve.tiles).write_csv(path)
+            print(f"windowed metrics for load {load:g} written to {path}")
+    hottest = results[-1]
+    print()
+    print(format_tail_attribution(
+        tail_attribution(hottest.spans, args.tail_pct),
+        title=f"p{args.tail_pct:g} tail attribution at load {loads[-1]:g} "
+              f"(spans reconcile exactly with end-to-end latency)"))
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.bench.serve import (
         EXIT_BASELINE_MISSING,
@@ -347,6 +414,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         check_serve_baseline,
         curve_to_baseline,
         format_serve,
+        format_slo,
         load_baseline,
         run_serve_sweep,
         write_baseline,
@@ -373,6 +441,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             print(f"invalid --skew {args.skew!r} (want {args.tiles} "
                   f"comma-separated positive floats)", file=sys.stderr)
             return 2
+    trace = bool(args.trace or args.spans_out or args.series_out
+                 or args.windows_out)
     with Executor(jobs=args.jobs) as executor:
         curve = run_serve_sweep(
             workload=args.workload, system=args.system, loads=loads,
@@ -380,8 +450,37 @@ def cmd_serve(args: argparse.Namespace) -> int:
             tiles=args.tiles, balancer=args.balancer,
             duration_ms=args.duration_ms, requests_per_min=args.rpm,
             tile_speedups=skew, executor=executor,
+            trace=trace, keep_results=trace or args.slo is not None,
         )
     print(format_serve(curve))
+    if trace:
+        rc = _serve_span_reports(args, curve, loads)
+        if rc:
+            return rc
+    if args.slo is not None:
+        from repro.serve.slo import SLObjective
+
+        try:
+            objective = SLObjective(args.slo, args.slo_target)
+        except ValueError as exc:
+            print(f"invalid SLO: {exc}", file=sys.stderr)
+            return 2
+        print()
+        print(format_slo(curve, objective))
+        if trace:
+            from repro.bench.format import render_table
+            from repro.serve import ServeResult
+            from repro.serve.slo import windowed_slo
+
+            hottest = ServeResult.from_dict(curve.results[-1])
+            burn = windowed_slo(hottest.spans, objective, windows=10)
+            print()
+            print(render_table(
+                burn.columns,
+                [[cell if not isinstance(cell, float) else round(cell, 3)
+                  for cell in row] for row in burn.rows],
+                f"Error-budget burn over windows at load {loads[-1]:g}",
+            ))
     if args.json:
         import json
 
@@ -551,6 +650,32 @@ def build_parser() -> argparse.ArgumentParser:
                         "if missing, 3 on regression")
     p.add_argument("--write-baseline", action="store_true",
                    help="(re)write the --baseline file from this sweep")
+    p.add_argument("--trace", action="store_true",
+                   help="record request span trees at every load point "
+                        "and print the tail-latency attribution")
+    p.add_argument("--slo", type=int, default=None, metavar="NS",
+                   help="latency objective in ns; print attainment and "
+                        "error-budget burn per load point (with spans, "
+                        "also burn over time at the hottest load)")
+    p.add_argument("--slo-target", type=float, default=0.99,
+                   help="required attainment fraction (default 0.99)")
+    p.add_argument("--spans-out", type=str, default=None, metavar="PATH",
+                   help="write a Perfetto-loadable Chrome trace of the "
+                        "request spans (implies --trace; multi-load "
+                        "sweeps get a _load<x> tag per point)")
+    p.add_argument("--series-out", type=str, default=None, metavar="PATH",
+                   help="write the completion time series CSV "
+                        "(repro.obs.series.request_series; implies "
+                        "--trace)")
+    p.add_argument("--windows-out", type=str, default=None, metavar="PATH",
+                   help="write windowed serving metrics CSV — throughput, "
+                        "p50/p99, queue depths, per-tile utilization "
+                        "(repro.obs.series.serve_windows; implies --trace)")
+    p.add_argument("--windows", type=int, default=50,
+                   help="window count for --series-out/--windows-out")
+    p.add_argument("--tail-pct", type=float, default=99.0,
+                   help="percentile cutoff for the tail attribution "
+                        "report (default 99)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("ablation", help="design-choice ablations")

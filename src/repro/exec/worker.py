@@ -168,29 +168,42 @@ def _execute_dynamic_mix(spec: RunSpec) -> dict[str, Any]:
     return {"op": "dynamic_mix", "data": data, "extras": {}}
 
 
+def _execute_serve(spec: Any) -> dict[str, Any]:
+    # Lazy import: the serve layer (and its span/SLO observability
+    # stack) loads only in workers that actually run serving cells.
+    from repro.serve.engine import execute_serve
+
+    return execute_serve(spec)
+
+
+#: op -> executor. A third frozen canonically-hashed spec type plugs in
+#: here; everything else (dedup, pool, store, JSON normalization) is
+#: op-agnostic.
+_DISPATCH = {
+    "run": _execute_run,
+    "dynamic_mix": _execute_dynamic_mix,
+    "serve": _execute_serve,
+}
+
+
 def execute_spec(spec: RunSpec) -> dict[str, Any]:
     """Run one spec and return its JSON-normalized payload.
 
-    Dispatches on ``spec.op``, so any frozen canonically-hashed spec
-    type with the RunSpec duck interface (``digest``/``canonical_dict``/
-    ``label``/``op``) rides the same dedup/pool/store machinery —
-    :class:`repro.serve.spec.ServeSpec` is the second such type.
+    Dispatches on ``spec.op`` via :data:`_DISPATCH`, so any frozen
+    canonically-hashed spec type with the RunSpec duck interface
+    (``digest``/``canonical_dict``/``label``/``op``) rides the same
+    dedup/pool/store machinery — :class:`repro.serve.spec.ServeSpec`
+    is the second such type.
 
     Seeds the module-level RNG from the spec digest first: any stray
     ``random`` use downstream is deterministic per spec, independent of
     which worker runs it or what ran before.
     """
-    random.seed(int(spec.digest()[:16], 16))
-    if spec.op == "run":
-        payload = _execute_run(spec)
-    elif spec.op == "dynamic_mix":
-        payload = _execute_dynamic_mix(spec)
-    elif spec.op == "serve":
-        from repro.serve.engine import execute_serve
-
-        payload = execute_serve(spec)
-    else:
+    execute = _DISPATCH.get(spec.op)
+    if execute is None:
         raise ValueError(f"unknown spec op {spec.op!r}")
+    random.seed(int(spec.digest()[:16], 16))
+    payload = execute(spec)
     # Normalize through JSON so live, pooled, and cached results are
     # byte-identical (tuples -> lists, int keys -> str keys, etc.).
     return json.loads(json.dumps(payload))

@@ -14,17 +14,23 @@ On top of the raw stream sits the analysis layer:
   percentiles with bounded relative error.
 * :mod:`repro.obs.series`    — gen- and engine-time sampling (IX-cache
   occupancy, short-circuit rate, DRAM bandwidth, bank queueing) with
-  CSV export.
+  CSV export, plus the serving layer's windowed request metrics.
+* :mod:`repro.obs.spans`     — request-level span trees for the serving
+  layer (``ServeSpec.trace``), with exact per-hop tail attribution and
+  reconciliation against ServeResult aggregates.
 """
 
 from repro.obs.export import (
     event_to_dict,
+    serve_openmetrics,
+    serve_trace_to_chrome,
     to_chrome_trace,
     to_jsonl,
     to_openmetrics,
     write_chrome_trace,
     write_jsonl,
     write_openmetrics,
+    write_serve_trace,
 )
 from repro.obs.histogram import Histogram
 from repro.obs.profile import (
@@ -36,18 +42,37 @@ from repro.obs.profile import (
     reconcile,
 )
 from repro.obs.registry import CounterHandle, Registry, TimerHandle
-from repro.obs.series import Series, engine_series, gen_series
+from repro.obs.series import (
+    Series,
+    engine_series,
+    gen_series,
+    request_series,
+    serve_windows,
+)
+from repro.obs.spans import (
+    HOPS,
+    RequestSpan,
+    SpanLog,
+    TailAttribution,
+    format_tail_attribution,
+    reconcile_spans,
+    tail_attribution,
+)
 from repro.obs.tracer import NULL_TRACER, NullTracer, TraceEvent, Tracer
 
 __all__ = [
     "ATTRIBUTION_CATEGORIES",
     "CounterHandle",
+    "HOPS",
     "Histogram",
     "NULL_TRACER",
     "NullTracer",
     "Profile",
     "Registry",
+    "RequestSpan",
     "Series",
+    "SpanLog",
+    "TailAttribution",
     "TimerHandle",
     "TraceEvent",
     "Tracer",
@@ -56,12 +81,20 @@ __all__ = [
     "engine_series",
     "event_to_dict",
     "format_profile",
+    "format_tail_attribution",
     "gen_series",
     "reconcile",
+    "reconcile_spans",
+    "request_series",
+    "serve_openmetrics",
+    "serve_trace_to_chrome",
+    "serve_windows",
+    "tail_attribution",
     "to_chrome_trace",
     "to_jsonl",
     "to_openmetrics",
     "write_chrome_trace",
     "write_jsonl",
     "write_openmetrics",
+    "write_serve_trace",
 ]

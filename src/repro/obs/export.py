@@ -19,6 +19,12 @@ The OpenMetrics text exposition (:func:`to_openmetrics`) renders a
 counter snapshot plus any :class:`~repro.obs.histogram.Histogram`
 objects in the format Prometheus-family scrapers ingest, so two runs'
 metrics can be joined or diffed with standard tooling.
+
+The serving layer gets both formats too: :func:`serve_trace_to_chrome`
+turns a request span log (:mod:`repro.obs.spans`) into a Perfetto trace
+with one track per user/balancer/tile, and :func:`serve_openmetrics`
+renders a ``ServeResult`` — scalar gauges, the four latency histograms,
+and per-tile load gauges with ``{tile="N"}`` labels.
 """
 
 from __future__ import annotations
@@ -166,6 +172,82 @@ def write_chrome_trace(
         json.dump(to_chrome_trace(tracer, counters), f, sort_keys=True)
 
 
+# --------------------------------------------------------------------- #
+# Serving-layer span traces (repro.obs.spans -> Perfetto)
+# --------------------------------------------------------------------- #
+
+#: pid assignments for the serve trace (one "process" per station type).
+_PID_SERVE_USERS = 0
+_PID_SERVE_LB = 1
+_PID_SERVE_TILES = 2
+
+_SERVE_PROCESS_NAMES = {
+    _PID_SERVE_USERS: "requests (one track per user, ts = ns)",
+    _PID_SERVE_LB: "load balancer (ts = ns)",
+    _PID_SERVE_TILES: "tiles (one track per tile, ts = ns)",
+}
+
+
+def serve_trace_to_chrome(log, meta: dict[str, Any] | None = None
+                          ) -> dict[str, Any]:
+    """Chrome ``trace_event`` JSON for a request span log (Perfetto).
+
+    Three processes: per-user request slices (the root span of each
+    request's tree, hop durations in ``args``), the balancer's dispatch
+    busy periods on one track, and per-tile tracks with one ``service``
+    slice per request (``walk`` links the slice to the sim-side walk
+    span the profiler attributes). Balancer and tile slices never
+    overlap on their track — the stations are FIFO servers — so the
+    trace renders as clean busy/idle timelines.
+    """
+    from repro.obs.spans import HOPS, RESPONSE_NET, SERVICE, TILE_QUEUE
+
+    lb_service_hop = HOPS.index("lb_service")
+    records: list[dict[str, Any]] = [
+        {"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+         "args": {"name": name}}
+        for pid, name in _SERVE_PROCESS_NAMES.items()
+    ]
+    for span in log:
+        hop_args = dict(zip(HOPS, span.hops))
+        records.append({
+            "name": "request", "ph": "X", "ts": span.start,
+            "dur": span.latency, "pid": _PID_SERVE_USERS, "tid": span.user,
+            "args": {"rid": span.rid, "tile": span.tile,
+                     "walk": span.walk, **hop_args},
+        })
+        lb_start, lb_end = span.hop_interval(lb_service_hop)
+        if lb_end > lb_start:
+            records.append({
+                "name": "dispatch", "ph": "X", "ts": lb_start,
+                "dur": lb_end - lb_start, "pid": _PID_SERVE_LB, "tid": 0,
+                "args": {"rid": span.rid, "tile": span.tile},
+            })
+        svc_start, svc_end = span.hop_interval(SERVICE)
+        records.append({
+            "name": "service", "ph": "X", "ts": svc_start,
+            "dur": svc_end - svc_start, "pid": _PID_SERVE_TILES,
+            "tid": span.tile,
+            "args": {"rid": span.rid, "walk": span.walk,
+                     "tile_queue_ns": span.hops[TILE_QUEUE],
+                     "response_net_ns": span.hops[RESPONSE_NET]},
+        })
+    payload: dict[str, Any] = {
+        "traceEvents": records,
+        "displayTimeUnit": "ns",
+        "otherData": {"requests": len(log)},
+    }
+    if meta:
+        payload["otherData"].update(dict(sorted(meta.items())))
+    return payload
+
+
+def write_serve_trace(log, path: str,
+                      meta: dict[str, Any] | None = None) -> None:
+    with open(path, "w") as f:
+        json.dump(serve_trace_to_chrome(log, meta), f, sort_keys=True)
+
+
 _METRIC_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
 
 
@@ -190,20 +272,31 @@ def to_openmetrics(
     counters: dict[str, int | float] | None = None,
     histograms: dict[str, Histogram] | None = None,
     prefix: str = "repro",
+    labeled: dict[str, list[tuple[dict[str, str], int | float]]] | None = None,
 ) -> str:
     """OpenMetrics text exposition of counters and histograms.
 
     Scalar snapshot values become gauges (they are point-in-time reads
     of a finished run, not monotonic process counters); histograms
     become native OpenMetrics histograms with cumulative ``le`` buckets
-    over the non-empty log buckets plus ``+Inf``. Output is sorted by
-    metric name and terminated by ``# EOF`` per the spec.
+    over the non-empty log buckets plus ``+Inf``. ``labeled`` maps a
+    metric name to ``(labels, value)`` samples — one gauge family with
+    one sample per label set (the serving layer's per-tile load gauges).
+    Output is sorted by metric name and terminated by ``# EOF`` per the
+    spec.
     """
     lines: list[str] = []
     for name in sorted(counters or {}):
         metric = _metric_name(name, prefix)
         lines.append(f"# TYPE {metric} gauge")
         lines.append(f"{metric} {_metric_value((counters or {})[name])}")
+    for name in sorted(labeled or {}):
+        metric = _metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        for labels, value in (labeled or {})[name]:
+            rendered = ",".join(f'{key}="{labels[key]}"'
+                                for key in sorted(labels))
+            lines.append(f"{metric}{{{rendered}}} {_metric_value(value)}")
     for name in sorted(histograms or {}):
         hist = (histograms or {})[name]
         metric = _metric_name(name, prefix)
@@ -223,6 +316,44 @@ def write_openmetrics(
     counters: dict[str, int | float] | None = None,
     histograms: dict[str, Histogram] | None = None,
     prefix: str = "repro",
+    labeled: dict[str, list[tuple[dict[str, str], int | float]]] | None = None,
 ) -> None:
     with open(path, "w") as f:
-        f.write(to_openmetrics(counters, histograms, prefix))
+        f.write(to_openmetrics(counters, histograms, prefix, labeled))
+
+
+def serve_openmetrics(result, prefix: str = "repro_serve") -> str:
+    """OpenMetrics rendering of a :class:`~repro.serve.engine.ServeResult`.
+
+    Scalars (offered/completed, throughput, utilization, makespan)
+    become gauges, the four latency histograms become native OpenMetrics
+    histograms, and per-tile request counts / busy time / utilization
+    become labeled gauge families (``{tile="0"}``), so a serving run can
+    be scraped, joined, and diffed with the same tooling as the
+    simulator's counter snapshots.
+    """
+    counters = {
+        "load": result.load,
+        "users": result.users,
+        "offered_requests": result.offered,
+        "completed_requests": result.completed,
+        "makespan_ns": result.makespan_ns,
+        "throughput_rps": result.throughput_rps,
+        "utilization": result.utilization,
+    }
+    histograms = {
+        "latency_ns": result.latency,
+        "lb_wait_ns": result.lb_wait,
+        "tile_wait_ns": result.tile_wait,
+        "service_ns": result.service,
+    }
+    labeled: dict[str, list[tuple[dict[str, str], int | float]]] = {
+        "tile_requests": [], "tile_busy_ns": [], "tile_utilization": [],
+    }
+    for tile in result.tiles:
+        labels = {"tile": str(tile.tile)}
+        labeled["tile_requests"].append((labels, tile.requests))
+        labeled["tile_busy_ns"].append((labels, tile.busy_ns))
+        labeled["tile_utilization"].append(
+            (labels, tile.utilization(result.makespan_ns)))
+    return to_openmetrics(counters, histograms, prefix, labeled)

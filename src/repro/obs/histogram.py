@@ -139,6 +139,24 @@ class Histogram:
     def percentiles(self, ps: Iterable[float]) -> dict[str, int]:
         return {f"p{p:g}": self.percentile(p) for p in ps}
 
+    def count_at_or_below(self, value: int) -> int:
+        """Recorded values known to be ``<= value`` (SLO attainment).
+
+        Counts every bucket whose upper bound is at or below ``value``:
+        exact in the unit-bucket range, a conservative undercount by at
+        most one bucket's population (relative width
+        ``max_relative_error``) above it. Deterministic, so attainment
+        numbers derived from it are reproducible bit for bit.
+        """
+        if self.count == 0 or value < self.min:
+            return 0
+        if value >= self.max:
+            return self.count
+        index = self.bucket_index(value)
+        if self.bucket_bound(index) > value:
+            index -= 1
+        return sum(self._counts[:min(index + 1, len(self._counts))])
+
     def buckets(self) -> Iterator[tuple[int, int]]:
         """Non-empty ``(upper_bound, cumulative_count)`` pairs, ascending."""
         cumulative = 0

@@ -13,6 +13,13 @@ engine then times the traces (cycle time). Both get a sampler:
   average bank queue wait, an occupancy-law estimate of bank queue depth
   (waiting cycles / window), and crossbar stalls.
 
+The serving layer (:mod:`repro.serve`) gets the same treatment in wall
+time: :func:`request_series` bins ``(completion, latency)`` pairs into
+the classic throughput/latency-over-time view, and
+:func:`serve_windows` folds a request span log
+(:mod:`repro.obs.spans`) into per-window throughput, exact p50/p99,
+occupancy-law queue depths, and per-tile utilization.
+
 Both produce a :class:`Series` — a named column table with deterministic
 CSV and JSON export, consumed by ``python -m repro profile`` and CI
 artifacts. Reconstruction is pure: it reads only the tracer's buffered
@@ -177,6 +184,83 @@ def engine_series(
             row["queue_wait"] / cycle_interval,
             row["xbar_stalls"],
             row["xbar_wait"],
+        ])
+    return series
+
+
+def _exact_percentile(sorted_values: list[int], p: float) -> int:
+    """Ceil-rank percentile over a sorted sample (no bucketization)."""
+    if not sorted_values:
+        return 0
+    rank = max(1, -(-len(sorted_values) * round(p * 100) // 10_000))
+    return sorted_values[rank - 1]
+
+
+def _overlap_into(acc: list[int], start: int, end: int, width: int) -> None:
+    """Add ``[start, end)``'s per-window overlap (ns) into ``acc``."""
+    if end <= start:
+        return
+    first = start // width
+    last = min((end - 1) // width, len(acc) - 1)
+    for w in range(first, last + 1):
+        lo = max(start, w * width)
+        hi = min(end, (w + 1) * width)
+        if hi > lo:
+            acc[w] += hi - lo
+
+
+def serve_windows(log, windows: int = 20, tiles: int | None = None,
+                  makespan: int | None = None) -> Series:
+    """Windowed serving metrics from a request span log.
+
+    ``log`` is a :class:`repro.obs.spans.SpanLog`. The horizon up to the
+    last completion (or the given ``makespan``) splits into ``windows``
+    equal windows; each row reports, for the requests *completing* in
+    the window: throughput (completions/s), exact p50/p99 end-to-end
+    latency, occupancy-law queue-depth estimates for the balancer and
+    the tiles (waiting ns inside the window / window width — the
+    average number of requests queued), mean tile utilization from the
+    exact overlap of service intervals with the window, and per-tile
+    utilization columns. Pure and deterministic.
+    """
+    from repro.obs.spans import LB_QUEUE, SERVICE, TILE_QUEUE
+
+    if windows <= 0:
+        raise ValueError("windows must be positive")
+    n_tiles = tiles if tiles is not None else (
+        max((span.tile for span in log), default=-1) + 1)
+    columns = ["t_end", "completions", "throughput_rps", "p50_ns", "p99_ns",
+               "lb_queue_depth", "tile_queue_depth", "util"]
+    columns += [f"util_tile{i}" for i in range(n_tiles)]
+    series = Series("serve_windows", columns)
+    if not len(log):
+        return series
+    horizon = makespan if makespan is not None else log.makespan()
+    width = max(1, -(-horizon // windows))  # ceil division
+    latencies: list[list[int]] = [[] for _ in range(windows)]
+    lb_wait = [0] * windows
+    tile_wait = [0] * windows
+    busy = [[0] * windows for _ in range(n_tiles)]
+    for span in log:
+        done = span.end
+        bucket = min((done - 1) // width, windows - 1) if done > 0 else 0
+        latencies[bucket].append(span.latency)
+        _overlap_into(lb_wait, *span.hop_interval(LB_QUEUE), width)
+        _overlap_into(tile_wait, *span.hop_interval(TILE_QUEUE), width)
+        _overlap_into(busy[span.tile], *span.hop_interval(SERVICE), width)
+    for w in range(windows):
+        lats = sorted(latencies[w])
+        utils = [busy[i][w] / width for i in range(n_tiles)]
+        series.rows.append([
+            (w + 1) * width,
+            len(lats),
+            len(lats) / (width / 1e9),
+            _exact_percentile(lats, 50),
+            _exact_percentile(lats, 99),
+            lb_wait[w] / width,
+            tile_wait[w] / width,
+            sum(utils) / n_tiles if n_tiles else 0.0,
+            *utils,
         ])
     return series
 

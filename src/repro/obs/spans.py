@@ -1,0 +1,304 @@
+"""Request-level span trees for the serving layer (distributed tracing).
+
+The serving simulator (:mod:`repro.serve.engine`) times every request
+through a fixed chain of stations; when ``ServeSpec.trace`` is set it
+records one :class:`RequestSpan` per request — the span tree of that
+request's life, flattened to the chain of hops the feed-forward topology
+guarantees:
+
+    client_net -> lb_queue -> lb_service -> lb_net -> tile_queue
+               -> service -> response_net
+
+Hops are stored as durations; boundaries are cumulative from the
+request's generation time, so the spans are contiguous by construction
+and the *recorded* end-to-end latency is kept separately — the
+reconciliation invariant (``sum(hops) == latency`` for every request,
+checked by :meth:`SpanLog.validate`) is therefore a real cross-check of
+the engine's accounting, not a tautology.
+
+``service`` spans carry the backend walk ordinal they replay
+(``walk >= 0`` for ``backend="sim"``), linking a serving-side span to
+the sim-side walk span the profiler (:mod:`repro.obs.profile`)
+reconstructs for the same walk — the cycle-level attribution of the
+nanosecond-level service hop.
+
+On top of the log sit the analyses: :func:`tail_attribution` decomposes
+the slowest-percentile requests into per-hop components (reconciling
+exactly with their end-to-end latencies), and
+:func:`reconcile_spans` checks the log against a ``ServeResult``'s
+aggregate histograms and per-tile accounting, mirroring the sim-side
+``obs.profile.reconcile`` contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+#: Hop names in chain order. Every request's latency decomposes exactly
+#: into these seven components.
+HOPS: tuple[str, ...] = (
+    "client_net", "lb_queue", "lb_service", "lb_net",
+    "tile_queue", "service", "response_net",
+)
+
+#: Human labels for the attribution tables.
+HOP_LABELS = {
+    "client_net": "client -> balancer hop",
+    "lb_queue": "balancer queueing",
+    "lb_service": "balancer dispatch",
+    "lb_net": "balancer -> tile hop",
+    "tile_queue": "tile queueing",
+    "service": "tile service (walk)",
+    "response_net": "tile -> client hop",
+}
+
+#: Hop indices used by the windowed series / exporters.
+LB_QUEUE = HOPS.index("lb_queue")
+TILE_QUEUE = HOPS.index("tile_queue")
+SERVICE = HOPS.index("service")
+RESPONSE_NET = HOPS.index("response_net")
+
+
+@dataclass(slots=True)
+class RequestSpan:
+    """One request's span tree, flattened to its hop chain."""
+
+    #: Arrival ordinal in the merged population stream (dispatch order).
+    rid: int
+    user: int
+    tile: int
+    #: Backend walk ordinal the service hop replays (-1 for fixed backend).
+    walk: int
+    #: Generation (arrival) time in ns — the root span's start.
+    start: int
+    #: Recorded end-to-end latency in ns (independent of the hops).
+    latency: int
+    #: Hop durations in :data:`HOPS` order.
+    hops: tuple[int, ...]
+
+    @property
+    def end(self) -> int:
+        return self.start + self.latency
+
+    @property
+    def attributed(self) -> int:
+        return sum(self.hops)
+
+    @property
+    def unattributed(self) -> int:
+        """Nanoseconds the hops do not explain (must be 0)."""
+        return self.latency - self.attributed
+
+    def spans(self) -> Iterator[tuple[str, int, int]]:
+        """``(hop_name, start_ns, end_ns)`` children, contiguous."""
+        t = self.start
+        for name, dur in zip(HOPS, self.hops):
+            yield name, t, t + dur
+            t += dur
+
+    def hop_interval(self, index: int) -> tuple[int, int]:
+        """Absolute ``(start, end)`` of the ``index``-th hop."""
+        t = self.start + sum(self.hops[:index])
+        return t, t + self.hops[index]
+
+    def to_row(self) -> list[int]:
+        return [self.rid, self.user, self.tile, self.walk,
+                self.start, self.latency, *self.hops]
+
+    @classmethod
+    def from_row(cls, row: list[int]) -> "RequestSpan":
+        return cls(rid=int(row[0]), user=int(row[1]), tile=int(row[2]),
+                   walk=int(row[3]), start=int(row[4]), latency=int(row[5]),
+                   hops=tuple(int(v) for v in row[6:]))
+
+
+@dataclass
+class SpanLog:
+    """Every traced request of one serving run, in dispatch order."""
+
+    requests: list[RequestSpan] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self) -> Iterator[RequestSpan]:
+        return iter(self.requests)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-friendly compact form (one row of ints per request)."""
+        return {"hops": list(HOPS),
+                "requests": [span.to_row() for span in self.requests]}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "SpanLog":
+        if list(data.get("hops", [])) != list(HOPS):
+            raise ValueError(
+                f"span log hop schema {data.get('hops')!r} != {list(HOPS)}")
+        return cls(requests=[RequestSpan.from_row(row)
+                             for row in data["requests"]])
+
+    def completions(self) -> list[tuple[int, int]]:
+        """``(completion_time, latency)`` pairs, completion-sorted —
+        the :func:`repro.obs.series.request_series` input."""
+        return sorted((span.end, span.latency) for span in self.requests)
+
+    def makespan(self) -> int:
+        return max((span.end for span in self.requests), default=0)
+
+    def latencies(self) -> list[int]:
+        return [span.latency for span in self.requests]
+
+    def validate(self) -> list[str]:
+        """Per-request invariants; empty means the log reconciles.
+
+        Every request's hop durations must be non-negative and sum
+        exactly to its recorded end-to-end latency, and rids must be the
+        dispatch order 0..n-1.
+        """
+        problems: list[str] = []
+        for i, span in enumerate(self.requests):
+            if span.rid != i:
+                problems.append(f"request {i}: rid {span.rid} out of order")
+            if len(span.hops) != len(HOPS):
+                problems.append(
+                    f"request {span.rid}: {len(span.hops)} hops, "
+                    f"want {len(HOPS)}")
+                continue
+            if any(d < 0 for d in span.hops):
+                problems.append(f"request {span.rid}: negative hop duration")
+            if span.unattributed != 0:
+                problems.append(
+                    f"request {span.rid}: hops sum to {span.attributed}ns "
+                    f"but latency is {span.latency}ns "
+                    f"({span.unattributed}ns unattributed)")
+        return problems
+
+
+def reconcile_spans(log: SpanLog, result: Any) -> list[str]:
+    """Check a span log against its ``ServeResult`` aggregates.
+
+    The histograms' ``total`` fields are exact sums (bucketization only
+    quantizes percentiles), so the log must match them to the
+    nanosecond: end-to-end latencies vs ``latency``, balancer waits vs
+    ``lb_wait``, tile waits vs ``tile_wait``, service times vs
+    ``service``, plus per-tile request counts and busy time. Returns
+    human-readable problems; empty means exact reconciliation.
+    """
+    problems = log.validate()
+    if len(log) != result.offered:
+        problems.append(
+            f"span log has {len(log)} requests, result offered "
+            f"{result.offered}")
+    checks = (
+        ("latency", result.latency, lambda s: s.latency),
+        ("lb_wait", result.lb_wait, lambda s: s.hops[LB_QUEUE]),
+        ("tile_wait", result.tile_wait, lambda s: s.hops[TILE_QUEUE]),
+        ("service", result.service, lambda s: s.hops[SERVICE]),
+    )
+    for name, hist, get in checks:
+        total = sum(get(span) for span in log)
+        if total != hist.total:
+            problems.append(
+                f"{name}: span sum {total}ns != histogram total "
+                f"{hist.total}ns")
+    by_tile_count: dict[int, int] = {}
+    by_tile_busy: dict[int, int] = {}
+    for span in log:
+        by_tile_count[span.tile] = by_tile_count.get(span.tile, 0) + 1
+        by_tile_busy[span.tile] = (
+            by_tile_busy.get(span.tile, 0) + span.hops[SERVICE])
+    for tile in result.tiles:
+        if by_tile_count.get(tile.tile, 0) != tile.requests:
+            problems.append(
+                f"tile {tile.tile}: {by_tile_count.get(tile.tile, 0)} "
+                f"spans != {tile.requests} recorded requests")
+        if by_tile_busy.get(tile.tile, 0) != tile.busy_ns:
+            problems.append(
+                f"tile {tile.tile}: span service sum "
+                f"{by_tile_busy.get(tile.tile, 0)}ns != busy "
+                f"{tile.busy_ns}ns")
+    return problems
+
+
+@dataclass
+class TailAttribution:
+    """Per-hop decomposition of the slowest-percentile requests."""
+
+    percentile: float
+    #: Exact latency at the percentile (the slow-set cutoff, inclusive).
+    threshold_ns: int
+    #: Requests with latency >= threshold.
+    count: int
+    #: Their end-to-end nanoseconds, summed.
+    total_ns: int
+    #: Hop name -> summed nanoseconds over the slow set.
+    totals: dict[str, int] = field(default_factory=dict)
+
+    def shares(self) -> dict[str, float]:
+        if not self.total_ns:
+            return {name: 0.0 for name in HOPS}
+        return {name: self.totals.get(name, 0) / self.total_ns
+                for name in HOPS}
+
+    @property
+    def attributed(self) -> int:
+        return sum(self.totals.values())
+
+    @property
+    def unattributed(self) -> int:
+        """Must be 0: the decomposition covers every slow nanosecond."""
+        return self.total_ns - self.attributed
+
+
+def tail_attribution(log: SpanLog, percentile: float = 99.0
+                     ) -> TailAttribution:
+    """Decompose the slowest ``100 - percentile`` % of requests by hop.
+
+    The cutoff is the *exact* latency quantile over the log (ceil rank,
+    matching :meth:`repro.obs.histogram.Histogram.percentile` semantics
+    but without bucketization); the slow set is every request at or
+    above it, so it is never empty on a non-empty log.
+    """
+    if not 0 <= percentile <= 100:
+        raise ValueError("percentile must be in [0, 100]")
+    if not log.requests:
+        return TailAttribution(percentile, 0, 0, 0, {n: 0 for n in HOPS})
+    latencies = sorted(span.latency for span in log)
+    rank = max(1, -(-len(latencies) * round(percentile * 100) // 10_000))
+    threshold = latencies[rank - 1]
+    totals = {name: 0 for name in HOPS}
+    count = 0
+    total_ns = 0
+    for span in log:
+        if span.latency < threshold:
+            continue
+        count += 1
+        total_ns += span.latency
+        for name, dur in zip(HOPS, span.hops):
+            totals[name] += dur
+    return TailAttribution(percentile, threshold, count, total_ns, totals)
+
+
+def format_tail_attribution(tail: TailAttribution,
+                            title: str | None = None) -> str:
+    """Tail-decomposition table, ready to print."""
+    from repro.bench.format import render_table
+
+    shares = tail.shares()
+    rows = [
+        [HOP_LABELS.get(name, name),
+         tail.totals.get(name, 0),
+         round(tail.totals.get(name, 0) / max(1, tail.count) / 1e3, 2),
+         f"{shares[name] * 100:.1f}%"]
+        for name in HOPS
+    ]
+    rows.append(["total", tail.total_ns,
+                 round(tail.total_ns / max(1, tail.count) / 1e3, 2),
+                 "100.0%"])
+    return render_table(
+        ["hop", "ns", "mean us/req", "share"],
+        rows,
+        title or (f"p{tail.percentile:g} tail attribution "
+                  f"({tail.count} requests >= {tail.threshold_ns}ns)"),
+    )

@@ -30,14 +30,27 @@ from repro.serve.engine import (
     execute_serve,
     simulate_serve,
 )
+from repro.serve.slo import (
+    SLObjective,
+    SLOReport,
+    burn_rate,
+    evaluate_histogram,
+    evaluate_spans,
+    windowed_slo,
+)
 from repro.serve.spec import BALANCERS, ServeSpec
 
 __all__ = [
     "AGGREGATE_LIMIT",
     "BALANCERS",
+    "SLObjective",
+    "SLOReport",
     "ServeResult",
     "ServeSpec",
     "TileLoad",
+    "burn_rate",
+    "evaluate_histogram",
+    "evaluate_spans",
     "execute_serve",
     "exponential_gaps",
     "merged_arrivals",
@@ -45,4 +58,5 @@ __all__ = [
     "simulate_serve",
     "uniform",
     "user_arrivals",
+    "windowed_slo",
 ]

@@ -22,6 +22,15 @@ tile's simulated walk service time, and the response latency; the
 end-to-end latency histograms (p50/p90/p99) come from the existing
 :class:`repro.obs.histogram.Histogram` machinery, and the optional
 completion time series from :func:`repro.obs.series.request_series`.
+
+With ``ServeSpec.trace`` set, every request additionally records its
+span tree (:class:`repro.obs.spans.RequestSpan`): the seven hops listed
+above as contiguous child spans whose durations sum exactly to the
+recorded end-to-end latency, with ``service`` spans carrying the
+backend walk ordinal they replay (the link into the sim-side walk-span
+profiler). Tracing off is the default and leaves the result payload
+byte-identical to pre-span builds — the serve-trace-overhead CI gate
+holds the layer to that.
 """
 
 from __future__ import annotations
@@ -31,6 +40,7 @@ from typing import Any
 
 from repro.obs.histogram import Histogram
 from repro.obs.series import Series, request_series
+from repro.obs.spans import RequestSpan, SpanLog
 from repro.serve.arrivals import merged_arrivals, population_size
 from repro.serve.spec import ServeSpec
 
@@ -85,6 +95,9 @@ class ServeResult:
     service: Histogram
     tiles: list[TileLoad] = field(default_factory=list)
     timeline: Series | None = None
+    #: Request span trees (ServeSpec.trace); absent keys keep untraced
+    #: payloads byte-identical to pre-span builds.
+    spans: SpanLog | None = None
 
     @staticmethod
     def _hist_dict(hist: Histogram) -> dict[str, Any]:
@@ -124,6 +137,11 @@ class ServeResult:
                 if self.timeline is not None
                 else {}
             ),
+            **(
+                {"spans": self.spans.to_dict()}
+                if self.spans is not None
+                else {}
+            ),
         }
 
     @classmethod
@@ -157,6 +175,11 @@ class ServeResult:
                 if timeline_d is not None
                 else None
             ),
+            spans=(
+                SpanLog.from_dict(data["spans"])
+                if data.get("spans") is not None
+                else None
+            ),
         )
 
     def percentiles(self) -> dict[str, int]:
@@ -169,14 +192,20 @@ class ServeResult:
 
 
 def _service_source(spec: ServeSpec):
-    """(service_ns(tile, k) -> int, mean_ns) for the spec's backend."""
+    """(service_ns, walk_index, mean_ns) for the spec's backend.
+
+    ``walk_index(tile, k)`` names the backend walk ordinal a service
+    span replays (the span <-> walk-profiler link); the fixed backend
+    has no backing walks, so it always answers -1.
+    """
     if spec.backend == "fixed":
         fixed = spec.service_ns
+        no_walk = lambda tile, k: -1
         speedups = spec.tile_speedups
         if speedups:
             scaled = [max(1, round(fixed / s)) for s in speedups]
-            return (lambda tile, k: scaled[tile]), float(fixed)
-        return (lambda tile, k: fixed), float(fixed)
+            return (lambda tile, k: scaled[tile]), no_walk, float(fixed)
+        return (lambda tile, k: fixed), no_walk, float(fixed)
 
     from repro.sim.tile_backend import build_service_model
 
@@ -185,7 +214,7 @@ def _service_source(spec: ServeSpec):
     )
     speedups = spec.tile_speedups or (1.0,) * spec.tiles
     return (lambda tile, k: model.service_ns(tile, k, speedups[tile])), \
-        model.mean_ns
+        model.walk_index, model.mean_ns
 
 
 def simulate_serve(spec: ServeSpec) -> ServeResult:
@@ -194,7 +223,7 @@ def simulate_serve(spec: ServeSpec) -> ServeResult:
     arrivals = merged_arrivals(
         spec.seed, users, spec.rate_per_user_ns(), spec.duration_ns()
     )
-    service_of, _ = _service_source(spec)
+    service_of, walk_of, _ = _service_source(spec)
 
     latency = Histogram(_SIGNIFICANT_BITS)
     lb_wait_h = Histogram(_SIGNIFICANT_BITS)
@@ -209,6 +238,9 @@ def simulate_serve(spec: ServeSpec) -> ServeResult:
     lb_free = 0
     dispatched = 0
     completions: list[tuple[int, int]] = []
+    #: Span recording is opt-in; the untraced loop touches nothing here,
+    #: keeping spans-off results byte-identical to pre-span builds.
+    span_rows: list[RequestSpan] | None = [] if spec.trace else None
 
     for t_gen, _user in arrivals:
         t_lb_in = t_gen + spec.client_lb_ns
@@ -234,7 +266,8 @@ def simulate_serve(spec: ServeSpec) -> ServeResult:
                     tile = i
         dispatched += 1
 
-        svc = service_of(tile, served[tile])
+        k = served[tile]
+        svc = service_of(tile, k)
         served[tile] += 1
         t_svc_start = t_tile_in if t_tile_in >= busy_until[tile] \
             else busy_until[tile]
@@ -251,6 +284,15 @@ def simulate_serve(spec: ServeSpec) -> ServeResult:
         e2e = t_done + spec.tile_client_ns - t_gen
         latency.record(e2e)
         completions.append((t_done + spec.tile_client_ns, e2e))
+
+        if span_rows is not None:
+            span_rows.append(RequestSpan(
+                rid=dispatched - 1, user=_user, tile=tile,
+                walk=walk_of(tile, k), start=t_gen, latency=e2e,
+                hops=(spec.client_lb_ns, t_lb_start - t_lb_in,
+                      spec.lb_service_ns, spec.lb_tile_ns,
+                      t_svc_start - t_tile_in, svc, spec.tile_client_ns),
+            ))
 
     makespan = max((t.last_done_ns for t in tiles), default=0)
     offered = len(arrivals)
@@ -281,6 +323,7 @@ def simulate_serve(spec: ServeSpec) -> ServeResult:
         service=service_h,
         tiles=tiles,
         timeline=timeline,
+        spans=SpanLog(requests=span_rows) if span_rows is not None else None,
     )
 
 

@@ -1,0 +1,149 @@
+"""SLO evaluation for serving runs: attainment and error-budget burn.
+
+An :class:`SLObjective` is the SRE-style contract "``target`` of
+requests complete within ``latency_ns``" (e.g. 99% under 500 us).
+Evaluation is deterministic and works at two fidelities:
+
+* From a latency **histogram** (any ``ServeResult``, traced or not):
+  attainment uses :meth:`repro.obs.histogram.Histogram.count_at_or_below`
+  — exact in the unit-bucket range, conservative by at most one log
+  bucket above it, and bit-for-bit reproducible.
+* From a request **span log** (``ServeSpec.trace``): exact per-request
+  latencies, plus :func:`windowed_slo` — per-window attainment and
+  burn rate over the run, the error-budget view an alerting pipeline
+  would page on.
+
+**Burn rate** follows the SRE-workbook definition: the fraction of
+requests violating the objective divided by the budgeted violation
+fraction ``1 - target``. Burn 1.0 spends the error budget exactly at
+the allowed pace; a load point past the saturation knee typically burns
+at 10x or more, which is what the ``python -m repro serve --slo``
+report surfaces per swept load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.obs.histogram import Histogram
+from repro.obs.series import Series
+from repro.obs.spans import SpanLog
+
+
+@dataclass(frozen=True)
+class SLObjective:
+    """``target`` fraction of requests within ``latency_ns``."""
+
+    latency_ns: int
+    target: float = 0.99
+
+    def __post_init__(self) -> None:
+        if self.latency_ns < 1:
+            raise ValueError("latency_ns must be >= 1")
+        if not 0.0 < self.target < 1.0:
+            raise ValueError("target must be in (0, 1)")
+
+    @property
+    def budget(self) -> float:
+        """Allowed violating fraction (the error budget)."""
+        return 1.0 - self.target
+
+    def label(self) -> str:
+        return f"{self.target * 100:g}% <= {self.latency_ns / 1e3:g}us"
+
+
+def burn_rate(bad: int, total: int, objective: SLObjective) -> float:
+    """Violating fraction over the budgeted fraction (1.0 = on budget)."""
+    if total <= 0:
+        return 0.0
+    return (bad / total) / objective.budget
+
+
+@dataclass
+class SLOReport:
+    """One run (or window) against one objective."""
+
+    objective: SLObjective
+    total: int
+    good: int
+
+    @property
+    def bad(self) -> int:
+        return self.total - self.good
+
+    @property
+    def attainment(self) -> float:
+        """Fraction of requests meeting the objective (1.0 when idle)."""
+        if self.total <= 0:
+            return 1.0
+        return self.good / self.total
+
+    @property
+    def burn(self) -> float:
+        return burn_rate(self.bad, self.total, self.objective)
+
+    @property
+    def met(self) -> bool:
+        return self.attainment >= self.objective.target
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "latency_ns": self.objective.latency_ns,
+            "target": self.objective.target,
+            "total": self.total,
+            "good": self.good,
+            "attainment": self.attainment,
+            "burn": self.burn,
+            "met": self.met,
+        }
+
+
+def evaluate_histogram(hist: Histogram, objective: SLObjective) -> SLOReport:
+    """Attainment of a latency histogram against one objective."""
+    return SLOReport(objective=objective, total=hist.count,
+                     good=hist.count_at_or_below(objective.latency_ns))
+
+
+def evaluate_spans(log: SpanLog, objective: SLObjective) -> SLOReport:
+    """Exact attainment from a request span log."""
+    good = sum(1 for span in log if span.latency <= objective.latency_ns)
+    return SLOReport(objective=objective, total=len(log), good=good)
+
+
+def windowed_slo(log: SpanLog, objective: SLObjective, windows: int = 20,
+                 makespan: int | None = None) -> Series:
+    """Per-window attainment and burn over a traced run.
+
+    The horizon up to the last completion splits into ``windows`` equal
+    windows; requests count toward the window they *complete* in. Burn
+    above 1.0 in a window means that window spent error budget faster
+    than the objective allows — the standard burn-rate alert signal.
+    """
+    if windows <= 0:
+        raise ValueError("windows must be positive")
+    series = Series("slo_windows", [
+        "t_end", "requests", "good", "attainment", "burn",
+    ])
+    if not len(log):
+        return series
+    horizon = makespan if makespan is not None else log.makespan()
+    width = max(1, -(-horizon // windows))  # ceil division
+    totals = [0] * windows
+    goods = [0] * windows
+    for span in log:
+        done = span.end
+        bucket = min((done - 1) // width, windows - 1) if done > 0 else 0
+        totals[bucket] += 1
+        if span.latency <= objective.latency_ns:
+            goods[bucket] += 1
+    for w in range(windows):
+        total, good = totals[w], goods[w]
+        series.rows.append([
+            (w + 1) * width,
+            total,
+            good,
+            good / total if total else 1.0,
+            burn_rate(total - good, total, objective),
+        ])
+    return series

@@ -86,6 +86,11 @@ class ServeSpec:
     #: When > 0, the result carries a completion time series with this
     #: many windows (repro.obs.series.request_series).
     timeline_windows: int = 0
+    #: Record a per-request span tree (repro.obs.spans.SpanLog) on the
+    #: result. Off by default; with tracing off the ServeResult payload
+    #: is byte-identical to an untraced run (the serve-trace-overhead
+    #: CI gate pins this).
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if self.op != "serve":

@@ -62,6 +62,12 @@ class TileServiceModel:
             return base
         return max(1, round(base / speedup))
 
+    def walk_index(self, tile: int, k: int) -> int:
+        """Backend walk ordinal replayed as tile ``tile``'s ``k``-th
+        request — the link from a serving-side service span to the
+        sim-side walk span the profiler attributes."""
+        return (self._offsets[tile] + k) % len(self.base_ns)
+
 
 def build_service_model(
     workload: str,

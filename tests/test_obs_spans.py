@@ -1,0 +1,244 @@
+"""Request span trees: construction, reconciliation, tail attribution.
+
+The span log is only trustworthy if it is *exactly* consistent with the
+numbers the serving engine reports through other channels: per-request
+hop sums vs the independently recorded end-to-end latency, aggregate
+sums vs the result histograms' exact totals, per-tile counts vs the tile
+accounting. These tests pin that reconciliation across a grid of specs
+(both balancers, both backends, skewed tiles) and the analyses built on
+the log (tail attribution, Chrome export, dict round-trip).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.export import serve_trace_to_chrome
+from repro.obs.spans import (
+    HOPS,
+    LB_QUEUE,
+    SERVICE,
+    TILE_QUEUE,
+    RequestSpan,
+    SpanLog,
+    format_tail_attribution,
+    reconcile_spans,
+    tail_attribution,
+)
+from repro.serve import ServeSpec, simulate_serve
+
+SMALL = 0.01
+
+
+def _spec(**overrides) -> ServeSpec:
+    kwargs = dict(scale=SMALL, users=4, tiles=2, duration_ms=1,
+                  requests_per_min=6_000_000.0, trace=True)
+    kwargs.update(overrides)
+    return ServeSpec.make("scan", **kwargs)
+
+
+def _span(rid=0, latency=70, hops=(10, 10, 10, 10, 10, 10, 10), **kw):
+    kwargs = dict(rid=rid, user=0, tile=0, walk=-1, start=0,
+                  latency=latency, hops=tuple(hops))
+    kwargs.update(kw)
+    return RequestSpan(**kwargs)
+
+
+# --------------------------------------------------------------------- #
+# RequestSpan primitives
+# --------------------------------------------------------------------- #
+
+def test_span_hop_geometry_is_contiguous():
+    span = _span(start=100, hops=(1, 2, 3, 4, 5, 6, 7), latency=28)
+    children = list(span.spans())
+    assert [name for name, _, _ in children] == list(HOPS)
+    assert children[0][1] == 100
+    for (_, _, prev_end), (_, start, _) in zip(children, children[1:]):
+        assert start == prev_end
+    assert children[-1][2] == span.end == 128
+    for i in range(len(HOPS)):
+        assert span.hop_interval(i) == (children[i][1], children[i][2])
+
+
+def test_span_attribution_accounting():
+    span = _span(latency=70)
+    assert span.attributed == 70
+    assert span.unattributed == 0
+    assert _span(latency=75).unattributed == 5
+
+
+def test_span_row_roundtrip():
+    span = _span(rid=3, user=1, tile=7, walk=42, start=9, latency=70)
+    assert RequestSpan.from_row(span.to_row()) == span
+
+
+# --------------------------------------------------------------------- #
+# SpanLog validation and serialization
+# --------------------------------------------------------------------- #
+
+def test_validate_catches_unattributed_time_and_rid_order():
+    ok = SpanLog([_span(rid=0), _span(rid=1, start=100)])
+    assert ok.validate() == []
+    bad_sum = SpanLog([_span(rid=0, latency=99)])
+    assert any("unattributed" in p for p in bad_sum.validate())
+    bad_rid = SpanLog([_span(rid=1)])
+    assert any("out of order" in p for p in bad_rid.validate())
+    bad_arity = SpanLog([_span(rid=0, hops=(70,), latency=70)])
+    assert any("hops" in p for p in bad_arity.validate())
+
+
+def test_spanlog_dict_roundtrip_and_schema_check():
+    log = simulate_serve(_spec()).spans
+    assert log is not None and len(log) > 0
+    wire = json.loads(json.dumps(log.to_dict()))
+    restored = SpanLog.from_dict(wire)
+    assert restored.requests == log.requests
+    wire["hops"] = ["bogus"]
+    with pytest.raises(ValueError):
+        SpanLog.from_dict(wire)
+
+
+def test_completions_are_sorted_and_makespan_matches():
+    log = simulate_serve(_spec()).spans
+    completions = log.completions()
+    assert completions == sorted(completions)
+    assert len(completions) == len(log)
+    assert completions[-1][0] == log.makespan()
+
+
+# --------------------------------------------------------------------- #
+# Reconciliation against ServeResult (the tentpole invariant)
+# --------------------------------------------------------------------- #
+
+GRID = [
+    dict(),
+    dict(balancer="least_loaded"),
+    dict(tiles=3, tile_speedups=(1.0, 0.5, 2.0)),
+    dict(backend="fixed", service_ns=500),
+    dict(users=1, load=2.0),
+]
+
+
+@pytest.mark.parametrize("overrides", GRID,
+                         ids=["base", "least_loaded", "skewed", "fixed",
+                              "single_user"])
+def test_span_trees_reconcile_exactly(overrides):
+    result = simulate_serve(_spec(**overrides))
+    log = result.spans
+    assert log is not None and len(log) == result.offered > 0
+    assert reconcile_spans(log, result) == []
+    # Reconciliation is a real cross-check: perturb one hop and the
+    # per-request and aggregate invariants both fire.
+    broken = SpanLog([_span(rid=s.rid, user=s.user, tile=s.tile,
+                            walk=s.walk, start=s.start, latency=s.latency,
+                            hops=s.hops) for s in log])
+    first = broken.requests[0]
+    hops = list(first.hops)
+    hops[TILE_QUEUE] += 1
+    first.hops = tuple(hops)
+    problems = reconcile_spans(broken, result)
+    assert any("unattributed" in p for p in problems)
+    assert any("tile_wait" in p for p in problems)
+
+
+def test_walk_linkage_matches_backend():
+    sim_log = simulate_serve(_spec()).spans
+    assert all(span.walk >= 0 for span in sim_log)
+    fixed_log = simulate_serve(_spec(backend="fixed", service_ns=500)).spans
+    assert all(span.walk == -1 for span in fixed_log)
+    assert all(span.hops[SERVICE] == 500 for span in fixed_log)
+
+
+def test_reconcile_flags_missing_requests():
+    result = simulate_serve(_spec())
+    truncated = SpanLog(result.spans.requests[:-1])
+    assert any("offered" in p for p in reconcile_spans(truncated, result))
+
+
+# --------------------------------------------------------------------- #
+# Tail attribution
+# --------------------------------------------------------------------- #
+
+def test_tail_attribution_reconciles_with_slow_set():
+    log = simulate_serve(_spec(load=1.5)).spans
+    tail = tail_attribution(log, 99.0)
+    assert tail.count > 0
+    assert tail.unattributed == 0
+    slow = [s for s in log if s.latency >= tail.threshold_ns]
+    assert tail.count == len(slow)
+    assert tail.total_ns == sum(s.latency for s in slow)
+    for i, name in enumerate(HOPS):
+        assert tail.totals[name] == sum(s.hops[i] for s in slow)
+    shares = tail.shares()
+    assert abs(sum(shares.values()) - 1.0) < 1e-9
+
+
+def test_tail_percentile_zero_covers_everything():
+    log = simulate_serve(_spec()).spans
+    tail = tail_attribution(log, 0.0)
+    assert tail.count == len(log)
+    assert tail.total_ns == sum(s.latency for s in log)
+
+
+def test_tail_attribution_edge_cases():
+    empty = tail_attribution(SpanLog([]))
+    assert empty.count == 0 and empty.total_ns == 0
+    with pytest.raises(ValueError):
+        tail_attribution(SpanLog([]), percentile=101)
+    # Fractional percentiles must not fall to float off-by-one (99.9
+    # of 1000 -> rank 999, not 998).
+    log = SpanLog([_span(rid=i, latency=70 + i,
+                         hops=(10, 10, 10, 10, 10, 10, 10 + i))
+                   for i in range(1000)])
+    assert tail_attribution(log, 99.9).threshold_ns == 70 + 998
+
+
+def test_format_tail_attribution_renders_all_hops():
+    text = format_tail_attribution(
+        tail_attribution(simulate_serve(_spec()).spans, 90.0))
+    assert "tile queueing" in text
+    assert "total" in text
+    assert "100.0%" in text
+
+
+# --------------------------------------------------------------------- #
+# Chrome export
+# --------------------------------------------------------------------- #
+
+def test_serve_trace_chrome_structure():
+    result = simulate_serve(_spec())
+    log = result.spans
+    payload = serve_trace_to_chrome(log, meta={"load": 1.0})
+    assert payload["otherData"]["requests"] == len(log)
+    assert payload["otherData"]["load"] == 1.0
+    events = payload["traceEvents"]
+    by_name = {}
+    for record in events:
+        by_name.setdefault(record["name"], []).append(record)
+    assert len(by_name["process_name"]) == 3
+    assert len(by_name["request"]) == len(log)
+    assert len(by_name["service"]) == len(log)
+    # Root slices carry the full hop decomposition; durations match.
+    for record, span in zip(by_name["request"], log):
+        assert record["ph"] == "X"
+        assert record["ts"] == span.start and record["dur"] == span.latency
+        assert [record["args"][h] for h in HOPS] == list(span.hops)
+    # FIFO stations: per-tile service slices never overlap.
+    per_tile: dict[int, list[tuple[int, int]]] = {}
+    for record in by_name["service"]:
+        per_tile.setdefault(record["tid"], []).append(
+            (record["ts"], record["ts"] + record["dur"]))
+    for intervals in per_tile.values():
+        intervals.sort()
+        for (_, end), (start, _) in zip(intervals, intervals[1:]):
+            assert start >= end
+    # The whole payload is JSON-pure (what write_serve_trace persists).
+    assert json.loads(json.dumps(payload)) == payload
+
+
+def test_serve_trace_chrome_skips_zero_width_dispatch():
+    log = simulate_serve(_spec(lb_service_ns=0)).spans
+    payload = serve_trace_to_chrome(log)
+    assert not any(r["name"] == "dispatch" for r in payload["traceEvents"])

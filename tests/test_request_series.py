@@ -1,0 +1,142 @@
+"""Direct unit tests for the serving-layer time series.
+
+``request_series`` bins (completion, latency) pairs into the classic
+throughput/latency-over-time view; ``serve_windows`` folds a span log
+into windowed percentiles, queue depths, and per-tile utilization.
+Both are pure functions, so they get exact conservation tests: every
+completion lands in exactly one window, window ends are monotone, and
+CSV export round-trips the rows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.series import request_series, serve_windows
+from repro.serve import ServeSpec, simulate_serve
+
+SMALL = 0.01
+
+
+def _log(**overrides):
+    kwargs = dict(scale=SMALL, users=4, tiles=2, duration_ms=1,
+                  requests_per_min=6_000_000.0, trace=True)
+    kwargs.update(overrides)
+    return simulate_serve(ServeSpec.make("scan", **kwargs)).spans
+
+
+# --------------------------------------------------------------------- #
+# request_series
+# --------------------------------------------------------------------- #
+
+def test_request_series_shape_and_conservation():
+    completions = _log().completions()
+    series = request_series(completions, windows=10)
+    assert series.columns == ["t_end", "completions", "mean_latency",
+                              "max_latency"]
+    assert len(series) == 10
+    assert sum(series.column("completions")) == len(completions)
+
+
+def test_request_series_window_ends_are_monotone_and_cover_horizon():
+    completions = _log().completions()
+    series = request_series(completions, windows=7)
+    ends = series.column("t_end")
+    assert ends == sorted(ends) and len(set(ends)) == len(ends)
+    assert ends[-1] >= max(t for t, _ in completions)
+
+
+def test_request_series_bins_by_completion_time():
+    # Two requests completing at t=5 and t=95 with latencies 10 and 30:
+    # with 10 windows over horizon 95 (width 10) they land in windows
+    # 0 and 9.
+    series = request_series([(5, 10), (95, 30)], windows=10)
+    counts = series.column("completions")
+    assert counts[0] == 1 and counts[-1] == 1 and sum(counts) == 2
+    assert series.column("mean_latency")[0] == 10.0
+    assert series.column("max_latency")[-1] == 30
+
+
+def test_request_series_stats_match_window_population():
+    # width is ceil(horizon / windows), so every completion fits below
+    # the last window end and windows are exactly (t_end-width, t_end].
+    log = _log()
+    series = request_series(log.completions(), windows=5)
+    width = series.column("t_end")[0]
+    for row in series.to_dicts():
+        window = [lat for t, lat in log.completions()
+                  if row["t_end"] - width < t <= row["t_end"]]
+        assert row["completions"] == len(window)
+        if window:
+            assert row["max_latency"] == max(window)
+            assert row["mean_latency"] == pytest.approx(
+                sum(window) / len(window))
+
+
+def test_request_series_empty_and_validation():
+    assert len(request_series([], windows=5)) == 0
+    with pytest.raises(ValueError):
+        request_series([(1, 1)], windows=0)
+
+
+def test_request_series_csv_roundtrip(tmp_path):
+    series = request_series(_log().completions(), windows=8)
+    path = tmp_path / "series.csv"
+    series.write_csv(str(path))
+    lines = path.read_text().strip().split("\n")
+    assert lines[0] == ",".join(series.columns)
+    assert len(lines) == 1 + len(series)
+    for line, row in zip(lines[1:], series.rows):
+        cells = line.split(",")
+        assert int(cells[0]) == row[0]
+        assert int(cells[1]) == row[1]
+        assert float(cells[2]) == pytest.approx(row[2], rel=1e-5)
+
+
+# --------------------------------------------------------------------- #
+# serve_windows
+# --------------------------------------------------------------------- #
+
+def test_serve_windows_shape_and_conservation():
+    log = _log(tiles=3)
+    series = serve_windows(log, windows=6, tiles=3)
+    assert series.columns[:8] == ["t_end", "completions", "throughput_rps",
+                                  "p50_ns", "p99_ns", "lb_queue_depth",
+                                  "tile_queue_depth", "util"]
+    assert series.columns[8:] == ["util_tile0", "util_tile1", "util_tile2"]
+    assert len(series) == 6
+    assert sum(series.column("completions")) == len(log)
+
+
+def test_serve_windows_busy_time_conserved():
+    """Summed per-window tile busy time equals the exact service total
+    (interval overlap loses nothing)."""
+    from repro.obs.spans import SERVICE
+
+    log = _log()
+    series = serve_windows(log, windows=9, tiles=2)
+    width = series.column("t_end")[0]
+    overlap_total = sum(
+        row[series.columns.index("util")] * 2 * width
+        for row in series.rows
+    )
+    exact_total = sum(span.hops[SERVICE] for span in log)
+    assert overlap_total == pytest.approx(exact_total)
+
+
+def test_serve_windows_percentiles_are_exact():
+    log = _log()
+    series = serve_windows(log, windows=1)
+    lats = sorted(log.latencies())
+    row = series.to_dicts()[0]
+    assert row["completions"] == len(lats)
+    assert row["p50_ns"] == lats[max(1, -(-len(lats) * 5000 // 10_000)) - 1]
+    assert row["p99_ns"] == lats[max(1, -(-len(lats) * 9900 // 10_000)) - 1]
+
+
+def test_serve_windows_empty_and_validation():
+    from repro.obs.spans import SpanLog
+
+    assert len(serve_windows(SpanLog([]), windows=4)) == 0
+    with pytest.raises(ValueError):
+        serve_windows(_log(), windows=0)

@@ -51,6 +51,7 @@ def test_serve_spec_digest_distinguishes_every_knob():
         _spec(duration_ms=2), _spec(requests_per_min=6_000_001.0),
         _spec(tile_speedups=(1.0, 0.5)), _spec(lb_service_ns=20),
         _spec(backend="fixed", service_ns=500), _spec(timeline_windows=0),
+        _spec(trace=True),
     ]
     digests = {base.digest()} | {v.digest() for v in variants}
     assert len(digests) == len(variants) + 1

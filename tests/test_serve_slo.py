@@ -1,0 +1,144 @@
+"""SLO evaluation: attainment, burn rate, and windowed error budget.
+
+The SLO layer has two fidelities — exact per-request evaluation from a
+span log and histogram-based evaluation from any ServeResult — and the
+contract is that they agree wherever the histogram is exact (the whole
+unit-bucket range). Burn-rate math follows the SRE-workbook definition,
+so a few closed-form cases pin it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.histogram import Histogram
+from repro.serve import (
+    ServeSpec,
+    SLObjective,
+    burn_rate,
+    evaluate_histogram,
+    evaluate_spans,
+    simulate_serve,
+    windowed_slo,
+)
+
+SMALL = 0.01
+
+
+def _result(**overrides):
+    kwargs = dict(scale=SMALL, users=4, tiles=2, duration_ms=1,
+                  requests_per_min=6_000_000.0, trace=True)
+    kwargs.update(overrides)
+    return simulate_serve(ServeSpec.make("scan", **kwargs))
+
+
+# --------------------------------------------------------------------- #
+# Objective and burn math
+# --------------------------------------------------------------------- #
+
+def test_objective_validation_and_budget():
+    obj = SLObjective(500_000, target=0.99)
+    assert obj.budget == pytest.approx(0.01)
+    assert obj.label() == "99% <= 500us"
+    with pytest.raises(ValueError):
+        SLObjective(0)
+    with pytest.raises(ValueError):
+        SLObjective(1000, target=1.0)
+    with pytest.raises(ValueError):
+        SLObjective(1000, target=0.0)
+
+
+def test_burn_rate_closed_form():
+    obj = SLObjective(1000, target=0.99)
+    # Violating exactly the budgeted 1% burns at exactly 1.0.
+    assert burn_rate(1, 100, obj) == pytest.approx(1.0)
+    # Violating everything burns at 1/budget.
+    assert burn_rate(100, 100, obj) == pytest.approx(100.0)
+    assert burn_rate(0, 100, obj) == 0.0
+    assert burn_rate(5, 0, obj) == 0.0
+
+
+def test_report_properties():
+    obj = SLObjective(1000, target=0.9)
+    report = evaluate_spans(_slow_log(), obj)
+    assert report.total == report.good + report.bad
+    assert report.met == (report.attainment >= 0.9)
+    d = report.to_dict()
+    assert d["total"] == report.total and d["burn"] == report.burn
+
+
+def _slow_log():
+    return _result(load=1.5).spans
+
+
+# --------------------------------------------------------------------- #
+# Histogram vs exact span evaluation
+# --------------------------------------------------------------------- #
+
+def test_histogram_count_at_or_below_is_conservative():
+    hist = Histogram()
+    values = [10, 100, 1000, 50_000, 2_000_000]
+    for v in values:
+        hist.record(v)
+    for cut in (5, 10, 99, 1000, 60_000, 3_000_000):
+        exact = sum(1 for v in values if v <= cut)
+        assert hist.count_at_or_below(cut) <= exact
+
+
+def test_histogram_and_span_evaluation_agree_on_real_runs():
+    """On real serving latencies the histogram's bucket bounds make
+    attainment conservative, never optimistic — and picking the cut at
+    a bucket bound makes the two fidelities agree exactly."""
+    result = _result(load=1.2)
+    for latency_ns in (result.latency.percentile(50),
+                       result.latency.percentile(99)):
+        obj = SLObjective(int(latency_ns), target=0.99)
+        from_hist = evaluate_histogram(result.latency, obj)
+        from_spans = evaluate_spans(result.spans, obj)
+        assert from_hist.total == from_spans.total
+        assert from_hist.good <= from_spans.good
+
+
+def test_attainment_monotone_in_objective():
+    result = _result()
+    cuts = [10_000, 100_000, 1_000_000, 10_000_000]
+    attained = [evaluate_spans(result.spans, SLObjective(c)).attainment
+                for c in cuts]
+    assert attained == sorted(attained)
+    assert attained[-1] == 1.0
+
+
+# --------------------------------------------------------------------- #
+# Windowed burn
+# --------------------------------------------------------------------- #
+
+def test_windowed_slo_conserves_totals():
+    log = _slow_log()
+    obj = SLObjective(200_000, target=0.99)
+    series = windowed_slo(log, obj, windows=8)
+    assert series.columns == ["t_end", "requests", "good", "attainment",
+                              "burn"]
+    assert len(series) == 8
+    assert sum(series.column("requests")) == len(log)
+    overall = evaluate_spans(log, obj)
+    assert sum(series.column("good")) == overall.good
+
+
+def test_windowed_slo_burn_matches_window_population():
+    log = _slow_log()
+    obj = SLObjective(200_000, target=0.99)
+    for row in windowed_slo(log, obj, windows=5).to_dicts():
+        if row["requests"]:
+            assert row["attainment"] == row["good"] / row["requests"]
+            assert row["burn"] == pytest.approx(
+                (1 - row["attainment"]) / obj.budget)
+        else:
+            assert row["attainment"] == 1.0 and row["burn"] == 0.0
+
+
+def test_windowed_slo_empty_and_validation():
+    from repro.obs.spans import SpanLog
+
+    assert len(windowed_slo(SpanLog([]), SLObjective(1000))) == 0
+    with pytest.raises(ValueError):
+        windowed_slo(SpanLog([]), SLObjective(1000), windows=0)
