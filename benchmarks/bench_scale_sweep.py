@@ -1,0 +1,38 @@
+"""Paper-scale sweep — streamed keygen + SoA storage up to 10M keys.
+
+The full sweep (``python -m repro.bench.scale_sweep --write-baseline``)
+commits BENCH_scale.json with the 1x point; the benchmark run keeps to
+the CI fractions so it stays push-cheap while exercising the identical
+path: tracemalloc-gated SoA build, fixed walk prefix, stream-vs-METAL
+trend predicates, and drift check against the committed baseline.
+"""
+
+from conftest import run_once
+
+from repro.bench.scale_sweep import (
+    CI_POINTS,
+    DEFAULT_BASELINE,
+    check_against_baseline,
+    check_trends,
+    format_sweep,
+    load_baseline,
+    run_scale_sweep,
+)
+
+
+def test_scale_sweep_ci_points(benchmark):
+    points = run_once(benchmark, run_scale_sweep, points=CI_POINTS)
+    print()
+    print(format_sweep(points))
+    assert check_trends(points) == []
+    baseline = load_baseline(DEFAULT_BASELINE)
+    assert baseline is not None, f"{DEFAULT_BASELINE} must be committed"
+    assert check_against_baseline(points, baseline) == []
+    # The committed full sweep carries the paper-scale point and its
+    # trends: 10M records built inside the declared budget, speedup
+    # floor held from 0.01x through 1x.
+    fracs = [p["frac"] for p in baseline["points"]]
+    assert 1.0 in fracs and min(fracs) <= 0.01
+    for p in baseline["points"]:
+        assert p["build_peak_bytes"] <= p["budget_bytes"]
+        assert p["speedup"] >= baseline["min_speedup"]

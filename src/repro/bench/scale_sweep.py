@@ -1,0 +1,335 @@
+"""Paper-scale sweep: do the headline trends survive up to 1x scale?
+
+The reproduction's default runs sit ~100x below the paper's sizes.
+:mod:`repro.bench.scale_sensitivity` already checks the system orderings
+over the small-scale regime (repro scales 0.1-0.5); this sweep pushes the
+other direction — up to the paper's 10M-key scan index — using the
+streaming keygen (:mod:`repro.workloads.stream`) and the SoA index
+backend (:mod:`repro.indexes.soa`), the two layers that exist precisely
+so a 1x point fits in RAM.
+
+Points are expressed as *fractions of paper scale*: ``frac=1.0`` means
+repro scale ``PAPER_SCALE`` (10M scan records), ``frac=0.01`` means 100K
+records. Every point builds the workload under ``tracemalloc`` and gates
+the build peak against a committed per-point byte budget, then simulates
+a fixed number of walks (``max_walks`` truncates the key stream to an
+exact prefix) on the stream baseline and on METAL, so makespan ratios
+across points reflect index growth, not walk volume.
+
+``BENCH_scale.json`` commits the sweep: miss rates, speedups, block
+counts, and measured build peaks per point. ``--check`` re-runs a subset
+and verifies the trends (speedup floor, miss-rate ordering, memory
+budget) still hold; CI runs the 0.01/0.05 points on every push.
+"""
+
+from __future__ import annotations
+
+import json
+import resource
+import tracemalloc
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.bench.format import render_table
+from repro.bench.runner import build_memsys
+from repro.sim.metrics import RunResult, simulate
+from repro.workloads.suite import PAPER_SCALE, build_workload, scaled
+
+#: Paper-scale fractions the committed baseline covers. 1.0 is the
+#: paper's 10M-key scan index.
+DEFAULT_POINTS = (0.01, 0.05, 0.25, 1.0)
+#: Fractions cheap enough for per-push CI.
+CI_POINTS = (0.01, 0.05)
+#: Systems compared at every point; "stream" is the speedup denominator.
+SYSTEMS = ("stream", "metal")
+#: Walk-count cap: every point simulates the same stream prefix, so the
+#: sweep varies index size only.
+MAX_WALKS = 20_000
+
+#: tracemalloc build-peak budget per point: a flat floor for interpreter
+#: noise plus a per-record SoA allowance (key/column arrays, level
+#: arrays, and the transient temporaries of vectorized construction).
+BUDGET_FLOOR_BYTES = 96 * 1024 * 1024
+BUDGET_PER_RECORD = 260
+
+DEFAULT_BASELINE = "BENCH_scale.json"
+#: Minimum METAL-over-stream speedup required at every point.
+MIN_SPEEDUP = 1.5
+#: Relative tolerance for --check against committed metrics.
+CHECK_RTOL = 0.05
+
+EXIT_TREND_VIOLATED = 1
+EXIT_BASELINE_MISSING = 2
+EXIT_REGRESSED = 3
+
+
+def point_budget_bytes(num_records: int) -> int:
+    """Build-peak budget for a point with ``num_records`` indexed keys."""
+    return BUDGET_FLOOR_BYTES + num_records * BUDGET_PER_RECORD
+
+
+@dataclass
+class SweepPoint:
+    """One paper-scale fraction: sizes, build memory, and run metrics."""
+
+    frac: float
+    scale: float
+    num_records: int
+    num_walks: int
+    index_blocks: int
+    build_peak_bytes: int
+    budget_bytes: int
+    rss_peak_bytes: int
+    metrics: dict[str, dict[str, float]] = field(default_factory=dict)
+    speedup: float = 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return dict(vars(self))
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "SweepPoint":
+        return cls(**data)
+
+
+def run_point(
+    frac: float,
+    workload_name: str = "scan",
+    seed: int = 0,
+    backend: str = "soa",
+    max_walks: int = MAX_WALKS,
+) -> SweepPoint:
+    """Build + simulate one paper-scale fraction.
+
+    The build runs under tracemalloc (the sweep's memory gate measures
+    construction, which dominates the footprint — the simulation adds
+    bounded per-walk state). RSS peak is reported informationally: it is
+    process-lifetime-monotone, so only the largest point's value means
+    anything in a multi-point run.
+    """
+    scale = frac * PAPER_SCALE
+    tracemalloc.start()
+    try:
+        workload = build_workload(
+            workload_name, scale=scale, seed=seed,
+            backend=backend, max_walks=max_walks,
+        )
+        _, build_peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    num_records = scaled(40_000, scale, 2_000)
+    point = SweepPoint(
+        frac=frac,
+        scale=scale,
+        num_records=num_records,
+        num_walks=len(workload.requests),
+        index_blocks=workload.total_index_blocks,
+        build_peak_bytes=build_peak,
+        budget_bytes=point_budget_bytes(num_records),
+        rss_peak_bytes=resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024,
+    )
+    runs: dict[str, RunResult] = {}
+    for kind in SYSTEMS:
+        sim = workload.config.sim_params()
+        memsys = build_memsys(kind, workload, workload.default_cache_bytes, sim)
+        runs[kind] = simulate(
+            memsys, workload.requests, sim, workload.total_index_blocks
+        )
+    point.metrics = {
+        kind: {
+            "makespan": run.makespan,
+            "miss_rate": run.miss_rate,
+            "avg_walk_latency": run.avg_walk_latency,
+            "working_set_fraction": run.working_set_fraction,
+        }
+        for kind, run in runs.items()
+    }
+    point.speedup = runs["stream"].makespan / max(1, runs["metal"].makespan)
+    return point
+
+
+def run_scale_sweep(
+    points: tuple[float, ...] = DEFAULT_POINTS,
+    workload_name: str = "scan",
+    seed: int = 0,
+    backend: str = "soa",
+    max_walks: int = MAX_WALKS,
+) -> list[SweepPoint]:
+    """Run the sweep smallest-first (RSS peaks stay attributable)."""
+    return [
+        run_point(frac, workload_name, seed, backend, max_walks)
+        for frac in sorted(points)
+    ]
+
+
+def check_trends(points: list[SweepPoint]) -> list[str]:
+    """The paper's trends, as hard predicates over a finished sweep."""
+    problems = []
+    for p in points:
+        if p.build_peak_bytes > p.budget_bytes:
+            problems.append(
+                f"frac {p.frac:g}: build peak {p.build_peak_bytes:,}B "
+                f"exceeds budget {p.budget_bytes:,}B"
+            )
+        if p.speedup < MIN_SPEEDUP:
+            problems.append(
+                f"frac {p.frac:g}: METAL speedup {p.speedup:.2f}x below "
+                f"floor {MIN_SPEEDUP}x"
+            )
+        if p.metrics["metal"]["miss_rate"] >= p.metrics["stream"]["miss_rate"]:
+            problems.append(
+                f"frac {p.frac:g}: METAL miss rate "
+                f"{p.metrics['metal']['miss_rate']:.3f} not below stream's "
+                f"{p.metrics['stream']['miss_rate']:.3f}"
+            )
+    for prev, cur in zip(points, points[1:]):
+        if cur.index_blocks <= prev.index_blocks:
+            problems.append(
+                f"index blocks not growing: frac {prev.frac:g} -> "
+                f"{cur.frac:g} gives {prev.index_blocks} -> {cur.index_blocks}"
+            )
+    return problems
+
+
+def sweep_to_baseline(points: list[SweepPoint]) -> dict[str, Any]:
+    return {
+        "version": 1,
+        "workload": "scan",
+        "backend": "soa",
+        "max_walks": MAX_WALKS,
+        "min_speedup": MIN_SPEEDUP,
+        "points": [p.to_dict() for p in points],
+    }
+
+
+def write_baseline(points: list[SweepPoint], path: str) -> None:
+    with open(path, "w") as f:
+        json.dump(sweep_to_baseline(points), f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+def load_baseline(path: str) -> dict[str, Any] | None:
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def check_against_baseline(
+    points: list[SweepPoint], baseline: dict[str, Any],
+    rtol: float = CHECK_RTOL,
+) -> list[str]:
+    """Compare re-run points to the committed sweep.
+
+    Makespans and miss rates are deterministic per (scale, seed), so the
+    tolerance only absorbs intentional small simulator changes; the
+    memory gate uses the committed budget, not the committed measurement
+    (allocator noise across Python versions is real, budgets are not).
+    """
+    by_frac = {p["frac"]: p for p in baseline.get("points", [])}
+    problems = []
+    for p in points:
+        ref = by_frac.get(p.frac)
+        if ref is None:
+            problems.append(f"frac {p.frac:g}: not in baseline")
+            continue
+        if p.build_peak_bytes > ref["budget_bytes"]:
+            problems.append(
+                f"frac {p.frac:g}: build peak {p.build_peak_bytes:,}B "
+                f"exceeds committed budget {ref['budget_bytes']:,}B"
+            )
+        for field_name in ("num_records", "num_walks", "index_blocks"):
+            if getattr(p, field_name) != ref[field_name]:
+                problems.append(
+                    f"frac {p.frac:g}: {field_name} {getattr(p, field_name)} "
+                    f"!= committed {ref[field_name]}"
+                )
+        for kind in SYSTEMS:
+            for metric in ("makespan", "miss_rate"):
+                got = p.metrics[kind][metric]
+                want = ref["metrics"][kind][metric]
+                if abs(got - want) > rtol * max(abs(want), 1e-12):
+                    problems.append(
+                        f"frac {p.frac:g}: {kind} {metric} {got:g} drifted "
+                        f"from committed {want:g} (rtol {rtol:g})"
+                    )
+    return problems
+
+
+def format_sweep(points: list[SweepPoint]) -> str:
+    rows = [
+        [
+            f"{p.frac:g}", f"{p.num_records:,}", f"{p.num_walks:,}",
+            f"{p.index_blocks:,}",
+            f"{p.build_peak_bytes / 2**20:.1f}",
+            f"{p.budget_bytes / 2**20:.0f}",
+            f"{p.metrics['stream']['miss_rate']:.3f}",
+            f"{p.metrics['metal']['miss_rate']:.3f}",
+            f"{p.speedup:.2f}x",
+        ]
+        for p in points
+    ]
+    return render_table(
+        ["paper frac", "records", "walks", "index blocks", "build MB",
+         "budget MB", "stream miss", "metal miss", "METAL speedup"],
+        rows, "Paper-scale sweep (scan, SoA backend, fixed walk prefix)",
+    )
+
+
+def main(argv: list[str] | None = None) -> int:  # pragma: no cover
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(
+        description="paper-scale sweep (repro.bench.scale_sweep)"
+    )
+    parser.add_argument("--points", type=str, default=None,
+                        help="comma-separated paper-scale fractions "
+                             "(default: the committed sweep's points)")
+    parser.add_argument("--baseline", type=str, default=DEFAULT_BASELINE)
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="(re)write --baseline from this run")
+    parser.add_argument("--check", action="store_true",
+                        help="compare this run to --baseline; exit 3 on "
+                             "drift, 2 if the baseline is missing")
+    args = parser.parse_args(argv)
+
+    points_arg = (
+        tuple(float(x) for x in args.points.split(","))
+        if args.points else DEFAULT_POINTS
+    )
+    points = run_scale_sweep(points=points_arg)
+    print(format_sweep(points))
+    problems = check_trends(points)
+    if problems:
+        print("\nSCALE TRENDS VIOLATED:", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return EXIT_TREND_VIOLATED
+    print("\ntrend check: METAL speedup and miss-rate advantage hold at "
+          "every point; builds stayed within their memory budgets")
+    if args.write_baseline:
+        write_baseline(points, args.baseline)
+        print(f"scale baseline written to {args.baseline}")
+        return 0
+    if args.check:
+        baseline = load_baseline(args.baseline)
+        if baseline is None:
+            print(f"baseline {args.baseline} missing or unreadable",
+                  file=sys.stderr)
+            return EXIT_BASELINE_MISSING
+        drift = check_against_baseline(points, baseline)
+        if drift:
+            print("\nSCALE SWEEP REGRESSED vs baseline:", file=sys.stderr)
+            for problem in drift:
+                print(f"  - {problem}", file=sys.stderr)
+            return EXIT_REGRESSED
+        print("baseline check: sweep matches the committed "
+              f"{args.baseline} (rtol {CHECK_RTOL:g})")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(main())

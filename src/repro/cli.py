@@ -7,7 +7,13 @@ Subcommands:
   exits nonzero on regression.
 * ``compare``   — run one workload across memory systems (with walk
   latency percentiles).
-* ``workloads`` — list the Table-2 workload registry.
+* ``workloads`` — list the Table-2 workload registry; ``--stats`` prints
+  sized record/walk counts and estimated peak build memory at ``--scale``
+  without building anything.
+* ``run``       — dbworkload-style run modes (repro.modes): ``--max-rate``
+  binary-searches the serving fleet's throughput ceiling, ``--schedule``
+  runs ramp/step offered-load profiles, and ``--pipe`` replays a captured
+  walk trace (trace_io JSONL, gzip ok) through any memory system.
 * ``ablation``  — run the design-choice ablations.
 * ``trace``     — run one workload with event tracing, export a Chrome
   ``trace_event`` JSON (opens in Perfetto) and optionally JSONL.
@@ -42,7 +48,12 @@ from dataclasses import replace
 from repro.bench.format import render_table
 from repro.bench.runner import SYSTEMS
 from repro.exec import Executor, RunSpec
-from repro.workloads.suite import PAPER_LABELS, WORKLOAD_BUILDERS, build_workload
+from repro.workloads.suite import (
+    PAPER_LABELS,
+    PAPER_SCALE,
+    WORKLOAD_BUILDERS,
+    build_workload,
+)
 
 #: Variant systems accepted everywhere SYSTEMS is, but excluded from the
 #: default Fig. 18 lineup (next-line-prefetch address cache, two-level
@@ -83,7 +94,40 @@ def _warn_dropped(tracer, flag: str = "--buffer") -> None:
     )
 
 
-def cmd_workloads(_args: argparse.Namespace) -> int:
+def _fmt_bytes(n) -> str:
+    if n is None:
+        return "-"
+    for unit in ("B", "KB", "MB", "GB"):
+        if n < 1024 or unit == "GB":
+            return f"{n:.1f}{unit}" if unit != "B" else f"{n}B"
+        n /= 1024
+    return f"{n:.1f}GB"
+
+
+def cmd_workloads(args: argparse.Namespace) -> int:
+    from repro.workloads.suite import SOA_WORKLOADS, workload_stats
+
+    if args.stats:
+        rows = []
+        for name in WORKLOAD_BUILDERS:
+            stats = workload_stats(name, scale=args.scale)
+            dims = ", ".join(
+                f"{dim}={stats[dim]:,}" for dim in ("records", "dim", "nnz",
+                                                    "edges", "outer")
+                if dim in stats
+            )
+            rows.append([
+                name, dims, f"{stats['walks']:,}",
+                _fmt_bytes(stats["est_object_bytes"]),
+                _fmt_bytes(stats["est_soa_bytes"]),
+                "yes" if name in SOA_WORKLOADS else "-",
+            ])
+        print(render_table(
+            ["key", "sized dimensions", "walks", "est. peak (object)",
+             "est. peak (SoA)", "soa backend"],
+            rows, f"Workload sizing at scale {args.scale:g} "
+                  f"({PAPER_SCALE:g} = paper scale)"))
+        return 0
     rows = []
     for name in WORKLOAD_BUILDERS:
         workload = build_workload(name, scale=0.02)
@@ -91,6 +135,79 @@ def cmd_workloads(_args: argparse.Namespace) -> int:
                      workload.pattern])
     print(render_table(["key", "paper label", "DSA", "pattern"], rows,
                        "Table-2 workload registry"))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    import json
+
+    from repro import modes
+
+    if _reject_unknown_systems((args.system,)):
+        return 2
+    with Executor(jobs=args.jobs) as executor:
+        if args.max_rate:
+            result = modes.find_max_rate(
+                workload=args.workload, system=args.system,
+                scale=args.scale, seed=args.seed, users=args.users,
+                tiles=args.tiles, requests_per_min=args.rpm,
+                duration_ms=args.duration_ms, balancer=args.balancer,
+                lo=args.lo, hi=args.hi, iters=args.iters,
+                max_util=args.max_util, slo_p99_ns=args.slo_p99_ns,
+                executor=executor,
+            )
+            print(modes.format_max_rate(result))
+            payload = result.to_dict()
+        elif args.schedule:
+            try:
+                modes.parse_schedule(args.schedule)
+            except ValueError as exc:
+                print(str(exc), file=sys.stderr)
+                return 2
+            result = modes.run_schedule(
+                workload=args.workload, system=args.system,
+                profile=args.schedule, scale=args.scale, seed=args.seed,
+                users=args.users, tiles=args.tiles,
+                requests_per_min=args.rpm, duration_ms=args.duration_ms,
+                balancer=args.balancer, executor=executor,
+            )
+            print(modes.format_schedule(result))
+            payload = result.to_dict()
+        else:
+            from repro.exec.executor import ExecError
+            from repro.sim.metrics import RunResult
+            from repro.workloads.trace_io import TraceTruncated
+
+            try:
+                payload = modes.replay_trace(
+                    args.workload, args.pipe, system=args.system,
+                    scale=args.scale, seed=args.seed, executor=executor,
+                )
+            except ExecError as exc:
+                # Worker-side failure: the original error is the last
+                # line of the captured traceback.
+                reason = str(exc).strip().splitlines()[-1]
+                print(f"trace replay failed: {reason}", file=sys.stderr)
+                return 1
+            except (TraceTruncated, ValueError, KeyError, OSError) as exc:
+                print(f"trace replay failed: {exc}", file=sys.stderr)
+                return 1
+            run = RunResult.from_dict(payload["result"])
+            pct = run.latency_percentiles() or {}
+            print(render_table(
+                ["walks", "makespan", "avg walk lat", "p99", "miss",
+                 "working set"],
+                [[run.num_walks, run.makespan, run.avg_walk_latency,
+                  pct.get("p99", "-"), run.miss_rate,
+                  run.working_set_fraction]],
+                f"trace replay: {args.pipe} -> {args.workload}/"
+                f"{args.system}@{args.scale:g}",
+            ))
+    if args.json:
+        with open(args.json, "w") as f:
+            json.dump(payload, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"run data written to {args.json}")
     return 0
 
 
@@ -531,7 +648,62 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("workloads", help="list the Table-2 workloads")
+    p.add_argument("--stats", action="store_true",
+                   help="print sized record/walk counts and estimated "
+                        "peak build memory per workload at --scale")
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="scale for --stats sizing (250 = paper scale)")
     p.set_defaults(func=cmd_workloads)
+
+    p = sub.add_parser(
+        "run",
+        help="dbworkload-style run modes: --max-rate throughput search, "
+             "--schedule load profiles, --pipe trace replay (repro.modes)",
+    )
+    p.add_argument("workload", choices=sorted(WORKLOAD_BUILDERS))
+    mode = p.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--max-rate", action="store_true",
+                      help="binary-search the highest sustainable "
+                           "offered load of the serving topology")
+    mode.add_argument("--schedule", type=str, default=None,
+                      metavar="PROFILE",
+                      help="offered-load profile: 'ramp:lo:hi:n' or "
+                           "'step:l1,l2,...' (one serve phase per load)")
+    mode.add_argument("--pipe", type=str, default=None, metavar="TRACE",
+                      help="replay a captured walk trace (trace_io JSONL, "
+                           ".gz ok) through --system")
+    p.add_argument("--system", default="metal",
+                   help="memory system to drive (default: metal)")
+    p.add_argument("--scale", type=float, default=0.05,
+                   help="workload scale (serve modes default 0.05; pipe "
+                        "replay needs the scale the trace was captured at)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--users", type=int, default=32,
+                   help="mean active users (serve modes)")
+    p.add_argument("--tiles", type=int, default=4,
+                   help="tiles behind the load balancer (serve modes)")
+    p.add_argument("--rpm", type=float, default=None,
+                   help="requests/min per user (default: calibrated so "
+                        "load 1.0 saturates the fleet)")
+    p.add_argument("--duration-ms", type=int, default=5,
+                   help="arrival horizon per probe/phase")
+    p.add_argument("--balancer", default="round_robin",
+                   choices=("round_robin", "least_loaded"))
+    p.add_argument("--lo", type=float, default=0.1,
+                   help="--max-rate bracket lower bound (load multiplier)")
+    p.add_argument("--hi", type=float, default=2.0,
+                   help="--max-rate bracket upper bound")
+    p.add_argument("--iters", type=int, default=7,
+                   help="--max-rate bisection steps after the bracket")
+    p.add_argument("--max-util", type=float, default=0.9,
+                   help="sustainable-utilization bound for --max-rate")
+    p.add_argument("--slo-p99-ns", type=int, default=None,
+                   help="optional p99 latency bound for --max-rate")
+    p.add_argument("--jobs", type=str, default="1",
+                   help="worker processes: a number or 'auto'")
+    p.add_argument("--json", type=str, default=None,
+                   help="write machine-readable run data to this file")
+    p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("compare", help="run one workload across systems")
     p.add_argument("workload", choices=sorted(WORKLOAD_BUILDERS))

@@ -79,6 +79,14 @@ class RunSpec:
     #: build_memsys overrides (tune, batch_walks, coalesce, ...) plus the
     #: virtual ``batch_windows`` (batch_walks from a window count).
     memsys_kwargs: KwargItems = ()
+    #: Replay an external walk trace (trace_io JSONL, ``.gz`` ok) instead
+    #: of the workload's own request stream. The workload still builds —
+    #: the trace re-binds to its indexes by name (index0, index1...).
+    trace_path: str | None = None
+    #: SHA-256 of the trace file. Required alongside ``trace_path``: the
+    #: path alone can't key the result cache (same path, new bytes), so
+    #: the digest pins the content and the worker verifies it at load.
+    trace_sha256: str | None = None
     #: Fault-injection schedule: a repro.faults.FaultPlan stored as its
     #: sorted (field, value) items, the same canonical form as *_kwargs.
     #: () means fault-free; a faulted spec therefore hashes differently
@@ -111,6 +119,13 @@ class RunSpec:
         if kwargs.get("requests_slice") is not None:
             offset, step = kwargs["requests_slice"]
             kwargs["requests_slice"] = (int(offset), int(step))
+        if kwargs.get("trace_path") is not None:
+            kwargs["trace_path"] = str(kwargs["trace_path"])
+            if not kwargs.get("trace_sha256"):
+                raise ValueError(
+                    "trace_path requires trace_sha256 (the cache is keyed "
+                    "by content, not path); use exec.spec.trace_digest()"
+                )
         if "collect" in kwargs:
             kwargs["collect"] = tuple(kwargs["collect"])
         return cls(workload=workload, system=system, **kwargs)
@@ -140,6 +155,15 @@ class RunSpec:
     def label(self) -> str:
         """Short human-readable tag for failure reports and logs."""
         return f"{self.workload}/{self.system}@{self.scale:g}s{self.seed}"
+
+
+def trace_digest(path: str | Path) -> str:
+    """SHA-256 of a trace file's bytes, for ``RunSpec.trace_sha256``."""
+    digest = hashlib.sha256()
+    with Path(path).open("rb") as f:
+        for block in iter(lambda: f.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
 
 
 @functools.lru_cache(maxsize=1)

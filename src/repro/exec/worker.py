@@ -102,6 +102,27 @@ def _collect_extras(
     return extras
 
 
+def _load_trace_requests(spec: RunSpec, workload: Workload) -> list:
+    """Replay requests from the spec's walk trace (pipe run mode).
+
+    The digest check runs before parsing: a cached result is keyed by
+    the trace's content hash, so replaying a spec against a silently
+    modified file must fail loudly, not return stale-keyed data.
+    """
+    from repro.exec.spec import trace_digest
+    from repro.workloads.trace_io import load_trace
+
+    actual = trace_digest(spec.trace_path)
+    if actual != spec.trace_sha256:
+        raise ValueError(
+            f"trace {spec.trace_path} has sha256 {actual[:12]}..., spec "
+            f"expects {spec.trace_sha256[:12]}... — file changed since "
+            "the spec was built"
+        )
+    names = {f"index{i}": index for i, index in enumerate(workload.indexes)}
+    return load_trace(spec.trace_path, names)
+
+
 def _execute_run(spec: RunSpec) -> dict[str, Any]:
     workload = _get_workload(spec)
     config = workload.config
@@ -115,6 +136,8 @@ def _execute_run(spec: RunSpec) -> dict[str, Any]:
         cache_bytes *= spec.cache_factor
 
     requests = workload.requests
+    if spec.trace_path is not None:
+        requests = _load_trace_requests(spec, workload)
     if spec.requests_slice is not None:
         offset, step = spec.requests_slice
         requests = requests[offset::step]

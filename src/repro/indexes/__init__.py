@@ -14,6 +14,7 @@ from repro.indexes.fiber import FiberMatrix
 from repro.indexes.pagetable import RadixPageTable
 from repro.indexes.rtree import RTree2D, Rect
 from repro.indexes.skiplist import SkipList
+from repro.indexes.soa import SoABPlusTree, SoANode, SoARecordTable
 from repro.indexes.sorted_set import SortedSet
 from repro.indexes.sparse_tensor import DynamicSparseTensor
 from repro.indexes.table import RecordTable
@@ -29,6 +30,9 @@ __all__ = [
     "Rect",
     "RTree2D",
     "SkipList",
+    "SoABPlusTree",
+    "SoANode",
+    "SoARecordTable",
     "SortedSet",
     "WalkableIndex",
 ]

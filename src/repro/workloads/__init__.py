@@ -8,9 +8,15 @@ smaller than the paper's (see DESIGN.md) and configurable upward.
 """
 
 from repro.workloads.keygen import clustered_stream, uniform_stream, zipf_stream
+from repro.workloads.stream import KeyStream, range_spans
 from repro.workloads.suite import (
+    PAPER_SCALE,
+    SOA_WORKLOADS,
     WORKLOAD_BUILDERS,
+    WORKLOAD_SIZINGS,
     Workload,
+    scaled,
+    workload_stats,
     build_analytics_join,
     build_analytics_select,
     build_analytics_where,
@@ -33,8 +39,15 @@ __all__ = [
     "build_spmm",
     "build_workload",
     "clustered_stream",
+    "KeyStream",
+    "PAPER_SCALE",
+    "range_spans",
+    "scaled",
+    "SOA_WORKLOADS",
     "uniform_stream",
     "WORKLOAD_BUILDERS",
+    "WORKLOAD_SIZINGS",
     "Workload",
+    "workload_stats",
     "zipf_stream",
 ]

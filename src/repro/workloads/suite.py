@@ -3,7 +3,18 @@
 Each builder constructs the index substrate, the walk-request stream, and a
 *descriptor factory* (descriptors are stateful, so every memory-system run
 gets a fresh one). Default sizes are ~100x below the paper's (DESIGN.md);
-``scale`` multiplies record and walk counts.
+``scale`` multiplies record and walk counts, and :data:`PAPER_SCALE` marks
+the multiplier where the scan index reaches the paper's 10M keys.
+
+Key sequences come from chunked :class:`~repro.workloads.stream.KeyStream`
+generators that replicate the eager ``keygen`` lists bit for bit (the
+committed baselines pin this), so building a paper-scale workload never
+materializes a 10M-element Python list. The B+tree-backed workloads
+(scan / select / where / join) additionally accept ``backend="soa"`` to
+store the index as per-level numpy arrays (:mod:`repro.indexes.soa`) with
+a byte-identical address layout, and ``max_walks`` to cap the request
+stream to an exact prefix — together these are what make 1x-scale runs
+fit in RAM.
 
 Table 2 mapping:
 
@@ -29,6 +40,8 @@ from collections.abc import Callable
 from dataclasses import dataclass, field
 from typing import Any
 
+import numpy as np
+
 from repro.core.descriptors import (
     BranchDescriptor,
     CompositeDescriptor,
@@ -45,16 +58,31 @@ from repro.indexes.base import count_blocks
 from repro.indexes.bplustree import BPlusTree
 from repro.indexes.fiber import FiberMatrix
 from repro.indexes.rtree import RTree2D
+from repro.indexes.soa import SoARecordTable
 from repro.indexes.sorted_set import SortedSet
 from repro.indexes.sparse_tensor import DynamicSparseTensor
 from repro.indexes.table import RecordTable
 from repro.sim.metrics import WalkRequest
 from repro.workloads.graphs import powerlaw_edges
-from repro.workloads.keygen import clustered_stream, range_queries, zipf_stream
 from repro.workloads.matrices import inner_product_rows, powerlaw_coo
 from repro.workloads.spatial import clustered_rects
+from repro.workloads.stream import KeyStream, range_spans
 
 DescriptorFactory = Callable[[], "ReuseDescriptor | dict[int, ReuseDescriptor]"]
+
+#: ``scale`` at which the scan workload's index reaches the paper's 10M
+#: keys (Table 2); the scale sweep's 1x point.
+PAPER_SCALE = 250.0
+
+
+def scaled(count: int, scale: float, floor: int) -> int:
+    """Scale a default-size count, never below its floor.
+
+    Every builder sizes records and walks as ``max(floor, count * scale)``;
+    the floor keeps tiny scales above the structural minimum (an index
+    must still have enough keys to reach its target depth).
+    """
+    return max(floor, int(count * scale))
 
 
 @dataclass
@@ -91,7 +119,10 @@ class Workload:
         if self._blocks is None:
             total = 0
             for index in self.indexes:
-                total += count_blocks(index.nodes())
+                # SoA indexes count blocks from their level arrays (the
+                # node-view iteration would materialize every node).
+                fast = getattr(index, "total_blocks_fast", None)
+                total += fast() if fast is not None else count_blocks(index.nodes())
             self._blocks = total
         return self._blocks
 
@@ -104,8 +135,20 @@ def _depth_fanout(num_keys: int, depth: int) -> int:
     return BPlusTree.fanout_for_depth(num_keys, depth)
 
 
-def _make_table(num_records: int, depth: int, seed: int = 0) -> RecordTable:
+def _make_table(
+    num_records: int, depth: int, seed: int = 0, backend: str = "object"
+) -> RecordTable | SoARecordTable:
     fanout = _depth_fanout(num_records, depth)
+    if backend == "soa":
+        ids = np.arange(num_records, dtype=np.int64)
+        arrays = {
+            "id": ids,
+            "value": (ids * 2654435761) % 1_000_003,
+            "group": ids % 97,
+        }
+        return SoARecordTable(("id", "value", "group"), "id", arrays, fanout=fanout)
+    if backend != "object":
+        raise ValueError(f"unknown table backend {backend!r}")
     records = (
         {"id": k, "value": (k * 2654435761) % 1_000_003, "group": k % 97}
         for k in range(num_records)
@@ -132,18 +175,28 @@ def _sweep_band(height: int) -> LevelDescriptor:
 # Scan (Gorgon, Level pattern)
 # --------------------------------------------------------------------- #
 
-def build_scan(scale: float = 1.0, seed: int = 0) -> Workload:
+def build_scan(
+    scale: float = 1.0,
+    seed: int = 0,
+    backend: str = "object",
+    max_walks: int | None = None,
+) -> Workload:
     """Random-search point lookups over a deep B+tree (Table 2: Scan).
 
-    Table 2 uses a 10-level, 10M-key B+tree; we keep the 10-level depth at
-    ~100x fewer keys by shrinking the fan-out, and preserve the paper's
-    cache-pressure ratio with the (scaled) default cache size.
+    Table 2 uses a 10-level, 10M-key B+tree; the default scale keeps the
+    10-level depth at ~100x fewer keys by shrinking the fan-out, and
+    ``scale=PAPER_SCALE`` with ``backend="soa"`` reproduces the paper's
+    size in-RAM. ``max_walks`` truncates the Zipf key stream to an exact
+    prefix (the full-stream rank permutation is preserved), bounding
+    simulation time independently of index size.
     """
-    num_records = max(2_000, int(40_000 * scale))
-    num_walks = max(500, int(8_000 * scale))
-    table = _make_table(num_records, depth=10, seed=seed)
+    num_records = scaled(40_000, scale, 2_000)
+    num_walks = scaled(8_000, scale, 500)
+    table = _make_table(num_records, depth=10, seed=seed, backend=backend)
     gorgon = Gorgon(SCAN_CONFIG)
-    keys = zipf_stream(num_records, num_walks, skew=0.8, seed=seed)
+    keys = KeyStream.zipf(num_records, num_walks, skew=0.8, seed=seed)
+    if max_walks is not None:
+        keys = keys.head(max_walks)
     requests = gorgon.scan_requests(table, keys)
     height = table.height
 
@@ -167,8 +220,8 @@ def build_scan(scale: float = 1.0, seed: int = 0) -> Workload:
 
 def build_sets(scale: float = 1.0, seed: int = 0, deep: bool = True) -> Workload:
     """Redis-style sorted-set lookups (Table 2: Sets / Sets-S)."""
-    num_records = max(1_000, int(20_000 * scale))
-    num_walks = max(500, int(8_000 * scale))
+    num_records = scaled(20_000, scale, 1_000)
+    num_walks = scaled(8_000, scale, 500)
     score_space = 1 << 20
     if deep:
         num_buckets, max_height = 4, 14
@@ -178,11 +231,11 @@ def build_sets(scale: float = 1.0, seed: int = 0, deep: bool = True) -> Workload
     sset = SortedSet(
         score_space, num_buckets=num_buckets, max_height=max_height, seed=seed
     )
-    rng_scores = zipf_stream(score_space, num_records, skew=0.0, seed=seed + 1)
+    rng_scores = KeyStream.zipf(score_space, num_records, skew=0.0, seed=seed + 1)
     scores = sorted(set(rng_scores))
     for i, score in enumerate(scores):
         sset.add(f"member-{i}", score)
-    lookups = zipf_stream(len(scores), num_walks, skew=0.9, seed=seed + 2)
+    lookups = KeyStream.zipf(len(scores), num_walks, skew=0.9, seed=seed + 2)
     gorgon = Gorgon(SETS_CONFIG)
     compute = gorgon.config.compute_cycles_per_walk
     requests = [
@@ -212,9 +265,9 @@ def build_sets(scale: float = 1.0, seed: int = 0, deep: bool = True) -> Workload
 
 def build_spmm(scale: float = 1.0, seed: int = 0, deep: bool = True) -> Workload:
     """Inner-product SpMM over B's coordinate index (Table 2: SpMM)."""
-    dim = max(512, int(8_192 * scale))
-    nnz = max(4_000, int(60_000 * scale))
-    num_a_rows = max(150, int(2_000 * scale))
+    dim = scaled(8_192, scale, 512)
+    nnz = scaled(60_000, scale, 4_000)
+    num_a_rows = scaled(2_000, scale, 150)
     triples = powerlaw_coo((dim, dim), nnz, col_skew=0.9, seed=seed)
     b: DynamicSparseTensor | FiberMatrix
     if deep:
@@ -250,13 +303,21 @@ def build_spmm(scale: float = 1.0, seed: int = 0, deep: bool = True) -> Workload
 # Analytics: Nest.SEL / WHERE / JOIN (Gorgon, Level pattern)
 # --------------------------------------------------------------------- #
 
-def build_analytics_select(scale: float = 1.0, seed: int = 0) -> Workload:
+def build_analytics_select(
+    scale: float = 1.0,
+    seed: int = 0,
+    backend: str = "object",
+    max_walks: int | None = None,
+) -> Workload:
     """Nested SELECT BETWEEN range queries (Fig. 18: Nest.SEL)."""
-    num_records = max(1_000, int(40_000 * scale))
-    num_queries = max(200, int(2_500 * scale))
-    table = _make_table(num_records, depth=8, seed=seed)
+    num_records = scaled(40_000, scale, 1_000)
+    num_queries = scaled(2_500, scale, 200)
+    table = _make_table(num_records, depth=8, seed=seed, backend=backend)
     gorgon = Gorgon(ANALYTICS_CONFIG)
-    ranges = range_queries(num_records, num_queries, span=16, skew=0.8, seed=seed)
+    starts = KeyStream.zipf(num_records, num_queries, skew=0.8, seed=seed)
+    if max_walks is not None:
+        starts = starts.head(max_walks)
+    ranges = range_spans(starts, span=16, universe=num_records)
     requests = gorgon.select_requests(table, ranges)
     height = table.height
 
@@ -270,17 +331,24 @@ def build_analytics_select(scale: float = 1.0, seed: int = 0) -> Workload:
     )
 
 
-def build_analytics_where(scale: float = 1.0, seed: int = 0) -> Workload:
+def build_analytics_where(
+    scale: float = 1.0,
+    seed: int = 0,
+    backend: str = "object",
+    max_walks: int | None = None,
+) -> Workload:
     """Data-dependent WHERE-clause probes (Fig. 18: WHERE)."""
-    num_records = max(1_000, int(40_000 * scale))
-    num_walks = max(500, int(6_000 * scale))
-    table = _make_table(num_records, depth=8, seed=seed)
+    num_records = scaled(40_000, scale, 1_000)
+    num_walks = scaled(6_000, scale, 500)
+    table = _make_table(num_records, depth=8, seed=seed, backend=backend)
     gorgon = Gorgon(ANALYTICS_CONFIG)
     # Nested clause: the probed key is derived from the previous record's
     # value column (data-dependent chain, zipf-seeded).
-    seeds = zipf_stream(num_records, num_walks, skew=0.7, seed=seed)
+    seeds = KeyStream.zipf(num_records, num_walks, skew=0.7, seed=seed)
+    if max_walks is not None:
+        seeds = seeds.head(max_walks)
     keys = []
-    key = seeds[0]
+    key = seeds.first()
     for s in seeds:
         record = table.get(key)
         key = (record["value"] + s) % num_records if record else s
@@ -299,23 +367,35 @@ def build_analytics_where(scale: float = 1.0, seed: int = 0) -> Workload:
 
 
 def build_analytics_join(
-    scale: float = 1.0, seed: int = 0, depth: int = 8
+    scale: float = 1.0, seed: int = 0, depth: int = 8, backend: str = "object"
 ) -> Workload:
     """Index nested-loop JOIN over two B+trees (Fig. 18: JOIN).
 
     ``depth`` controls the inner tree's level count (Fig. 23b sweeps it
     10-18 in the paper; deeper means a smaller fan-out here).
     """
-    inner_records = max(1_000, int(40_000 * scale))
-    outer_records = max(400, int(6_000 * scale))
-    inner = _make_table(inner_records, depth=depth, seed=seed)
-    fk_stream = zipf_stream(inner_records, outer_records, skew=0.85, seed=seed + 1)
-    outer = RecordTable.from_records(
-        ("id", "fk"),
-        "id",
-        ({"id": i, "fk": fk} for i, fk in enumerate(fk_stream)),
-        fanout=_depth_fanout(outer_records, 6),
-    )
+    inner_records = scaled(40_000, scale, 1_000)
+    outer_records = scaled(6_000, scale, 400)
+    inner = _make_table(inner_records, depth=depth, seed=seed, backend=backend)
+    fk_stream = KeyStream.zipf(inner_records, outer_records, skew=0.85, seed=seed + 1)
+    outer_fanout = _depth_fanout(outer_records, 6)
+    if backend == "soa":
+        outer = SoARecordTable(
+            ("id", "fk"),
+            "id",
+            {
+                "id": np.arange(outer_records, dtype=np.int64),
+                "fk": np.concatenate(list(fk_stream.chunks())),
+            },
+            fanout=outer_fanout,
+        )
+    else:
+        outer = RecordTable.from_records(
+            ("id", "fk"),
+            "id",
+            ({"id": i, "fk": fk} for i, fk in enumerate(fk_stream)),
+            fanout=outer_fanout,
+        )
     gorgon = Gorgon(ANALYTICS_CONFIG)
     compute = gorgon.config.compute_cycles_per_walk
     # The join touches both trees: walk the outer index for the record,
@@ -353,8 +433,8 @@ def build_analytics_join(
 
 def build_rtree(scale: float = 1.0, seed: int = 0) -> Workload:
     """Quadrilateral embedding over paired x/y B-trees (§4.3)."""
-    num_rects = max(1_000, int(20_000 * scale))
-    num_queries = max(200, int(2_000 * scale))
+    num_rects = scaled(20_000, scale, 1_000)
+    num_queries = scaled(2_000, scale, 200)
     universe = 1 << 20
     rects = clustered_rects(num_rects, universe=universe, seed=seed)
     rtree = RTree2D(
@@ -363,7 +443,7 @@ def build_rtree(scale: float = 1.0, seed: int = 0) -> Workload:
         y_fanout=_depth_fanout(num_rects, 6),
     )
     xs = sorted({r.x_lo for r in rects})
-    query_idx = clustered_stream(len(xs), num_queries, num_clusters=6, seed=seed + 1)
+    query_idx = KeyStream.clustered(len(xs), num_queries, num_clusters=6, seed=seed + 1)
     x_queries = [xs[i] for i in query_idx]
     aurochs = Aurochs(RTREE_CONFIG)
     requests = aurochs.rtree_requests(rtree, x_queries, y_per_x=4)
@@ -394,9 +474,9 @@ def build_rtree(scale: float = 1.0, seed: int = 0) -> Workload:
 
 def build_pagerank(scale: float = 1.0, seed: int = 0) -> Workload:
     """Push-style PageRank: walks to the destination vertex per edge."""
-    num_vertices = max(1_000, int(20_000 * scale))
-    num_edges = max(3_000, int(50_000 * scale))
-    num_pushes = max(500, int(10_000 * scale))
+    num_vertices = scaled(20_000, scale, 1_000)
+    num_edges = scaled(50_000, scale, 3_000)
+    num_pushes = scaled(10_000, scale, 500)
     edges = powerlaw_edges(num_vertices, num_edges, skew=0.9, seed=seed)
     graph = AdjacencyList(
         edges, num_vertices=num_vertices, fanout=_depth_fanout(num_vertices, 8)
@@ -406,7 +486,7 @@ def build_pagerank(scale: float = 1.0, seed: int = 0) -> Workload:
     # Pushes land on edge destinations (zipf-hub heavy); each push walks
     # the vertex directory for the destination's record.
     dsts = [d for _, d in edges]
-    rng = zipf_stream(len(dsts), num_pushes, skew=0.0, seed=seed + 1)
+    rng = KeyStream.zipf(len(dsts), num_pushes, skew=0.0, seed=seed + 1)
     requests = []
     for i in rng:
         v = dsts[i]
@@ -489,14 +569,75 @@ PAPER_LABELS = {
     "pagerank": "PageRank",
 }
 
+#: Declarative sizing per workload: dimension -> (count at scale 1.0,
+#: floor). The "records" row sizes the primary index; "walks" sizes the
+#: request-driving sequence (for join the request count is 2x the outer
+#: table; rtree queries expand ~5x into walk requests). The ``--stats``
+#: CLI reads this table, so reported counts match built counts by
+#: construction.
+WORKLOAD_SIZINGS: dict[str, dict[str, tuple[int, int]]] = {
+    "scan": {"records": (40_000, 2_000), "walks": (8_000, 500)},
+    "sets": {"records": (20_000, 1_000), "walks": (8_000, 500)},
+    "sets_s": {"records": (20_000, 1_000), "walks": (8_000, 500)},
+    "spmm": {"dim": (8_192, 512), "nnz": (60_000, 4_000), "walks": (2_000, 150)},
+    "spmm_s": {"dim": (8_192, 512), "nnz": (60_000, 4_000), "walks": (2_000, 150)},
+    "select": {"records": (40_000, 1_000), "walks": (2_500, 200)},
+    "where": {"records": (40_000, 1_000), "walks": (6_000, 500)},
+    "join": {"records": (40_000, 1_000), "outer": (6_000, 400)},
+    "rtree": {"records": (20_000, 1_000), "walks": (2_000, 200)},
+    "pagerank": {"records": (20_000, 1_000), "edges": (50_000, 3_000), "walks": (10_000, 500)},
+}
+
+#: Workloads whose primary index supports ``backend="soa"``.
+SOA_WORKLOADS = frozenset({"scan", "select", "where", "join"})
+
+#: Measured Python-object cost per indexed record for the object-path
+#: B+tree substrate (IndexNode + boxed keys + record dict + request
+#: overheads), used for the --stats peak-memory estimate.
+_OBJECT_BYTES_PER_RECORD = 700
+#: SoA cost per record: key array + column arrays (int64 each) + the
+#: ~40B/node level arrays amortized over fanout keys per node.
+_SOA_BYTES_PER_RECORD = 8 * 4 + 48
+
+
+def workload_stats(name: str, scale: float = 1.0) -> dict[str, Any]:
+    """Sized dimensions + peak-memory estimates without building anything.
+
+    Powers ``python -m repro workloads --stats``; the estimates are
+    order-of-magnitude build footprints (the scale sweep measures real
+    tracemalloc peaks against its committed budgets).
+    """
+    try:
+        sizing = WORKLOAD_SIZINGS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; choose from {sorted(WORKLOAD_SIZINGS)}"
+        ) from None
+    counts = {dim: scaled(per_unit, scale, floor) for dim, (per_unit, floor) in sizing.items()}
+    if name == "join":
+        counts["records"] = counts["records"] + counts["outer"]
+        counts["walks"] = 2 * counts["outer"]
+    records = counts.get("records", counts.get("dim", 0))
+    stats: dict[str, Any] = {
+        "workload": name,
+        "scale": scale,
+        **counts,
+        "est_object_bytes": records * _OBJECT_BYTES_PER_RECORD,
+        "est_soa_bytes": (
+            records * _SOA_BYTES_PER_RECORD if name in SOA_WORKLOADS else None
+        ),
+    }
+    return stats
+
 
 def build_workload(
     name: str, scale: float = 1.0, seed: int = 0, **kwargs: Any
 ) -> Workload:
     """Build a Table-2 workload by its registry name.
 
-    Extra ``kwargs`` go to the builder (e.g. ``depth=...`` for ``join``).
-    The built workload is stamped with its ``scale``/``seed`` so the run
+    Extra ``kwargs`` go to the builder (e.g. ``depth=...`` for ``join``,
+    ``backend="soa"``/``max_walks=...`` for the table workloads). The
+    built workload is stamped with its ``scale``/``seed`` so the run
     pipeline can rebuild an identical copy in a worker process.
     """
     try:

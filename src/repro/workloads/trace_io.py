@@ -1,20 +1,48 @@
-"""Walk-trace import/export (JSON lines).
+"""Walk-trace import/export (JSON lines, optionally gzip).
 
 Lets users capture a workload's request stream once and replay it against
 different memory systems or geometries — or bring their own traces from a
 real application. Index objects can't serialize, so requests are stored
 against *index names* and re-bound at load time.
+
+Format v2 adds two things paper-scale traces need:
+
+* **Chunked iteration** — :func:`iter_trace` yields requests one at a
+  time so a multi-million-walk replay never holds the whole list during
+  parsing (the pipe run mode feeds the simulator straight from it).
+* **Truncation detection** — v2 writers append a trailer record carrying
+  the request count; a reader that reaches EOF without seeing it (a
+  killed capture, a partial download) raises :class:`TraceTruncated`
+  instead of silently replaying a short trace. v1 files (no trailer)
+  still load.
+
+Compression is by extension: a ``.gz`` path reads/writes through gzip
+transparently (a 10M-walk JSONL trace shrinks ~20x).
 """
 
 from __future__ import annotations
 
+import gzip
 import json
+from collections.abc import Iterator
 from pathlib import Path
-from typing import Any
+from typing import Any, IO
 
 from repro.sim.metrics import WalkRequest
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+#: Oldest version load/iter still accept (v1 has no trailer).
+MIN_FORMAT_VERSION = 1
+
+
+class TraceTruncated(ValueError):
+    """A v2 trace ended without its trailer — the file is incomplete."""
+
+
+def _open(path: Path, mode: str) -> IO[str]:
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t")
+    return path.open(mode)
 
 
 def save_trace(
@@ -22,14 +50,15 @@ def save_trace(
     requests: list[WalkRequest],
     index_names: dict[int, str],
 ) -> int:
-    """Write requests as JSONL; returns the number of records written.
+    """Write requests as JSONL (gzipped for ``.gz`` paths); returns count.
 
     ``index_names`` maps ``id(index_object)`` to a stable name. Every
-    request's index must be named.
+    request's index must be named. The final line is a trailer record
+    with the request count, which readers use to detect truncation.
     """
     path = Path(path)
     count = 0
-    with path.open("w") as f:
+    with _open(path, "w") as f:
         header = {"version": FORMAT_VERSION, "kind": "repro-walk-trace"}
         f.write(json.dumps(header) + "\n")
         for request in requests:
@@ -49,28 +78,48 @@ def save_trace(
             }
             f.write(json.dumps(record) + "\n")
             count += 1
+        f.write(json.dumps({"trailer": True, "count": count}) + "\n")
     return count
 
 
-def load_trace(
+def iter_trace(
     path: str | Path,
     indexes: dict[str, Any],
-) -> list[WalkRequest]:
-    """Read a JSONL trace, re-binding index names to live objects."""
+) -> Iterator[WalkRequest]:
+    """Stream a JSONL trace, re-binding index names to live objects.
+
+    Yields one :class:`WalkRequest` per record without materializing the
+    list. For v2 traces, raises :class:`TraceTruncated` if the file ends
+    before the trailer or the trailer count disagrees with the records
+    actually read; v1 traces (no trailer) end at EOF.
+    """
     path = Path(path)
-    requests: list[WalkRequest] = []
-    with path.open() as f:
+    with _open(path, "r") as f:
         header = json.loads(f.readline())
         if header.get("kind") != "repro-walk-trace":
             raise ValueError(f"{path} is not a repro walk trace")
-        if header.get("version") != FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported trace version {header.get('version')!r}"
-            )
+        version = header.get("version")
+        if (
+            not isinstance(version, int)
+            or not MIN_FORMAT_VERSION <= version <= FORMAT_VERSION
+        ):
+            raise ValueError(f"unsupported trace version {version!r}")
+        expects_trailer = version >= 2
+        count = 0
+        saw_trailer = False
         for line_no, line in enumerate(f, start=2):
             if not line.strip():
                 continue
             record = json.loads(line)
+            if record.get("trailer"):
+                declared = record.get("count")
+                if declared != count:
+                    raise TraceTruncated(
+                        f"{path}: trailer declares {declared} requests but "
+                        f"{count} were read — file is corrupt"
+                    )
+                saw_trailer = True
+                break
             name = record["index"]
             index = indexes.get(name)
             if index is None:
@@ -78,17 +127,28 @@ def load_trace(
                     f"{path}:{line_no}: trace references unknown index "
                     f"{name!r}; provide it in `indexes`"
                 )
-            requests.append(
-                WalkRequest(
-                    index=index,
-                    key=record["key"],
-                    compute_cycles=record.get("compute", 0),
-                    data_address=record.get("data_address"),
-                    data_bytes=record.get("data_bytes", 64),
-                    scan_hi=record.get("scan_hi"),
-                )
+            count += 1
+            yield WalkRequest(
+                index=index,
+                key=record["key"],
+                compute_cycles=record.get("compute", 0),
+                data_address=record.get("data_address"),
+                data_bytes=record.get("data_bytes", 64),
+                scan_hi=record.get("scan_hi"),
             )
-    return requests
+        if expects_trailer and not saw_trailer:
+            raise TraceTruncated(
+                f"{path}: reached end of file after {count} requests "
+                "without the trailer record — the trace was truncated"
+            )
+
+
+def load_trace(
+    path: str | Path,
+    indexes: dict[str, Any],
+) -> list[WalkRequest]:
+    """Read a whole JSONL trace into a list (see :func:`iter_trace`)."""
+    return list(iter_trace(path, indexes))
 
 
 def workload_index_names(workload: Any) -> dict[int, str]:

@@ -164,6 +164,20 @@ def test_scale_sensitivity():
     assert_rows(scale_sensitivity.format_scale_sensitivity(points, "scan"))
 
 
+@smokes("bench_scale_sweep")
+def test_scale_sweep():
+    from repro.bench import scale_sweep
+
+    # Tiny paper fractions (floors dominate the sizing); the trend
+    # predicates are calibrated for the real CI fractions, so the smoke
+    # only requires the pipeline to complete and render.
+    points = scale_sweep.run_scale_sweep(points=(0.0001, 0.0005))
+    assert_rows(scale_sweep.format_sweep(points))
+    for p in points:
+        assert p.build_peak_bytes <= p.budget_bytes
+        assert set(p.metrics) == set(scale_sweep.SYSTEMS)
+
+
 @smokes("bench_ext_dynamic")
 def test_ext_dynamic():
     results = dynamic.run_dynamic_mix(num_records=400, num_ops=300)

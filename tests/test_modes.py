@@ -1,0 +1,132 @@
+"""Run modes (repro.modes): max-rate search, schedules, trace replay.
+
+Two kinds of guarantees:
+
+* **Oracle checks** — the bisection must behave like a bisection over
+  the serving simulator's monotone utilization-vs-load curve: probes
+  bracket the answer, the verdict is the highest sustainable probe, and
+  tightening the bound can only lower the ceiling.
+* **Determinism / cacheability** — a mode run is pure arithmetic over
+  frozen spec payloads, so re-running with the same arguments must emit
+  the same spec digests and be served entirely from the warm cache.
+"""
+
+import pytest
+
+from repro.exec import Executor, ResultStore
+from repro.modes import (
+    find_max_rate,
+    format_max_rate,
+    format_schedule,
+    parse_schedule,
+    run_schedule,
+)
+
+#: One cheap serving configuration shared by every test; scale 0.02 keeps
+#: the per-probe backend simulation small.
+CONFIG = dict(workload="scan", system="metal", scale=0.02, seed=0,
+              users=8, tiles=2, duration_ms=3)
+
+
+@pytest.fixture(scope="module")
+def max_rate_result():
+    with Executor(jobs=1, store=None) as executor:
+        return find_max_rate(iters=4, executor=executor, **CONFIG)
+
+
+class TestMaxRate:
+    def test_ceiling_is_bracketed_and_sustainable(self, max_rate_result):
+        result = max_rate_result
+        assert result.max_load is not None
+        best = [p for p in result.probes if p.load == result.max_load][-1]
+        assert best.sustainable
+        assert best.utilization <= result.max_util
+        # Every probe above the ceiling was rejected: the verdict really
+        # is the highest sustainable load evaluated.
+        for p in result.probes:
+            if p.load > result.max_load:
+                assert not p.sustainable
+        assert result.max_rate_rps == pytest.approx(
+            result.users * result.requests_per_min * result.max_load / 60.0,
+            rel=1e-4,
+        )
+
+    def test_utilization_is_monotone_in_load(self, max_rate_result):
+        """The oracle the bisection relies on: offered load up, mean
+        utilization (weakly) up."""
+        probes = sorted(max_rate_result.probes, key=lambda p: p.load)
+        utils = [p.utilization for p in probes]
+        assert all(a <= b + 1e-9 for a, b in zip(utils, utils[1:]))
+        offered = [p.offered for p in probes]
+        assert all(a < b for a, b in zip(offered, offered[1:]))
+
+    def test_tighter_bound_lowers_ceiling(self, max_rate_result):
+        with Executor(jobs=1, store=None) as executor:
+            tight = find_max_rate(iters=4, max_util=0.5, executor=executor,
+                                  **CONFIG)
+        assert tight.max_load is not None
+        assert tight.max_load <= max_rate_result.max_load
+
+    def test_impossible_bracket_reports_none(self):
+        with Executor(jobs=1, store=None) as executor:
+            result = find_max_rate(iters=2, max_util=0.0001,
+                                   executor=executor, **CONFIG)
+        assert result.max_load is None
+        assert result.max_rate_rps is None
+        assert "no sustainable load" in format_max_rate(result)
+
+    def test_rerun_is_fully_cache_served(self, tmp_path):
+        store = ResultStore(root=tmp_path)
+        with Executor(jobs=1, store=store) as cold:
+            first = find_max_rate(iters=3, executor=cold, **CONFIG)
+            assert cold.stats.cache_hits == 0
+        with Executor(jobs=1, store=ResultStore(root=tmp_path)) as warm:
+            second = find_max_rate(iters=3, executor=warm, **CONFIG)
+            # Same arguments -> same quantized probe loads -> same spec
+            # digests: every probe is a warm-cache hit.
+            assert warm.stats.cache_hits == len(second.probes)
+            assert warm.stats.computed == 0
+        assert first.to_dict() == second.to_dict()
+
+
+class TestSchedule:
+    def test_parse_ramp_and_step(self):
+        assert parse_schedule("ramp:0.2:1.0:5") == (0.2, 0.4, 0.6, 0.8, 1.0)
+        assert parse_schedule("step:0.5,1.5,0.5") == (0.5, 1.5, 0.5)
+        for bad in ("ramp:0.2:1.0", "ramp:a:b:3", "ramp:0:1:1", "wave:1",
+                    "step:"):
+            with pytest.raises(ValueError):
+                parse_schedule(bad)
+
+    def test_ramp_phases_follow_profile(self):
+        with Executor(jobs=1, store=None) as executor:
+            result = run_schedule(profile="ramp:0.3:0.9:3",
+                                  executor=executor, **CONFIG)
+        assert [p.load for p in result.phases] == [0.3, 0.6, 0.9]
+        assert [p.phase for p in result.phases] == [0, 1, 2]
+        # Offered work tracks the profile (same horizon, higher rate).
+        offered = [p.offered for p in result.phases]
+        assert offered[0] < offered[1] < offered[2]
+        assert format_schedule(result)  # renders without error
+
+    def test_step_revisit_draws_fresh_arrivals(self):
+        """A step profile that returns to a load is a *different* phase:
+        fresh arrival seed, so offered counts differ while the load and
+        rate match."""
+        with Executor(jobs=1, store=None) as executor:
+            result = run_schedule(profile="step:0.5,1.2,0.5",
+                                  executor=executor, **CONFIG)
+        first, _, again = result.phases
+        assert first.load == again.load == 0.5
+        assert first.offered != again.offered
+
+    def test_rerun_is_fully_cache_served(self, tmp_path):
+        profile = "ramp:0.4:1.0:3"
+        store = ResultStore(root=tmp_path)
+        with Executor(jobs=1, store=store) as cold:
+            first = run_schedule(profile=profile, executor=cold, **CONFIG)
+        with Executor(jobs=1, store=ResultStore(root=tmp_path)) as warm:
+            second = run_schedule(profile=profile, executor=warm, **CONFIG)
+            assert warm.stats.cache_hits == len(second.phases)
+            assert warm.stats.computed == 0
+        assert first.to_dict() == second.to_dict()
