@@ -1,0 +1,137 @@
+"""Byte-identity gate for the vectorized batch core.
+
+The vectorized backends — the bucket-queue calendar engine
+(``SimParams.engine="bucket"``), batched walk generation
+(``SimParams.walk_batch > 0``), and the array DRAM decomposition they
+ride on — are pure performance substitutions: every ``RunResult`` they
+produce must serialize byte-for-byte identically to the scalar
+heap-engine, walk-at-a-time path. This module sweeps that claim across
+every memory system and a set of workloads and exits non-zero on the
+first divergence, so CI can hold the gate.
+
+Run as a module::
+
+    python -m repro.bench.vector_check --scale 0.01 --workloads scan,select
+
+Exit codes follow ``repro.perf.harness``: 0 all identical, 3 on any
+mismatch (the checksum-mismatch code — a byte divergence is a behaviour
+change, never a timing artifact).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from dataclasses import replace
+from typing import Any, Iterable
+
+from repro.bench.runner import SYSTEMS, run_workload
+from repro.workloads.suite import build_workload
+
+#: Exit code on divergence (mirrors harness.EXIT_CHECKSUM_MISMATCH).
+EXIT_MISMATCH = 3
+
+#: The vectorized configurations checked against the scalar reference.
+#: Each is a dict of SimParams overrides applied via dataclasses.replace.
+VARIANTS: tuple[tuple[str, dict[str, Any]], ...] = (
+    ("bucket", {"engine": "bucket"}),
+    ("batch", {"walk_batch": 256}),
+    ("both", {"engine": "bucket", "walk_batch": 256}),
+)
+
+#: Index storage backends the sweep covers. The SoA backend is where the
+#: batched walk path engages; the object backend must stay identical too
+#: (it falls back to scalar walks under walk_batch).
+BACKENDS: tuple[str, ...] = ("soa", "object")
+
+
+def canonical(result: Any) -> str:
+    """The byte string compared: canonical JSON of RunResult.to_dict()."""
+    return json.dumps(result.to_dict(), sort_keys=True)
+
+
+def check_cell(
+    workload_name: str, backend: str, system: str, scale: float,
+) -> list[str]:
+    """Compare every vectorized variant of one (workload, system) cell.
+
+    Returns a list of mismatch descriptions (empty = identical).
+    """
+    workload = build_workload(workload_name, scale=scale, backend=backend)
+    base_sim = workload.config.sim_params()
+    reference = canonical(run_workload(workload, system, sim=base_sim))
+    mismatches = []
+    for label, overrides in VARIANTS:
+        got = canonical(
+            run_workload(workload, system, sim=replace(base_sim, **overrides))
+        )
+        if got != reference:
+            detail = diff_keys(reference, got)
+            mismatches.append(
+                f"{workload_name}/{backend}/{system}/{label}: {detail}"
+            )
+    return mismatches
+
+
+def diff_keys(ref_js: str, got_js: str) -> str:
+    """Name the top-level RunResult fields that diverged."""
+    ref = json.loads(ref_js)
+    got = json.loads(got_js)
+    keys = [k for k in ref if ref[k] != got.get(k)]
+    keys += [k for k in got if k not in ref]
+    return "diverged fields: " + ", ".join(sorted(set(keys)))
+
+
+def run_matrix(
+    scales: Iterable[float],
+    workloads: Iterable[str],
+    systems: Iterable[str] = SYSTEMS,
+    verbose: bool = True,
+) -> list[str]:
+    """Sweep the full matrix; returns all mismatch descriptions."""
+    failures: list[str] = []
+    for scale in scales:
+        for workload_name in workloads:
+            for backend in BACKENDS:
+                for system in systems:
+                    bad = check_cell(workload_name, backend, system, scale)
+                    failures.extend(
+                        f"scale={scale} {line}" for line in bad
+                    )
+                    if verbose:
+                        status = "MISMATCH" if bad else "ok"
+                        print(f"{status} scale={scale} {workload_name}/"
+                              f"{backend}/{system}")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="scalar vs vectorized byte-identity matrix",
+    )
+    parser.add_argument("--scales", default="0.01",
+                        help="comma-separated workload scales")
+    parser.add_argument("--workloads", default="scan,select",
+                        help="comma-separated workload names")
+    parser.add_argument("--systems", default=",".join(SYSTEMS),
+                        help="comma-separated memory systems")
+    parser.add_argument("--quiet", action="store_true",
+                        help="print only the verdict")
+    args = parser.parse_args(argv)
+    failures = run_matrix(
+        scales=[float(s) for s in args.scales.split(",") if s],
+        workloads=[w for w in args.workloads.split(",") if w],
+        systems=[s for s in args.systems.split(",") if s],
+        verbose=not args.quiet,
+    )
+    if failures:
+        print(f"FAIL: {len(failures)} vectorized cells diverged")
+        for line in failures:
+            print(f"  {line}")
+        return EXIT_MISMATCH
+    print("ALL OK: vectorized backends byte-identical to scalar")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -72,7 +72,7 @@ class PatternController:
     # ------------------------------------------------------------------ #
 
     def begin_walk(self, index_id: int, key: int) -> None:
-        descriptor = self.descriptor_for(index_id)
+        descriptor = self._by_index.get(index_id, self._default)
         if descriptor is not None:
             descriptor.observe_key(key)
 
@@ -83,7 +83,8 @@ class PatternController:
         height: int,
         ctx: WalkContext | None = None,
     ) -> InsertDecision:
-        descriptor = self.descriptor_for(index_id)
+        # descriptor_for() inlined: decide() runs once per visited node.
+        descriptor = self._by_index.get(index_id, self._default)
         if descriptor is None:
             return INSERT_ALL
         decision = descriptor.decide(node, height, ctx)

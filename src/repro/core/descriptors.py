@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import statistics
 from abc import ABC, abstractmethod
-from collections import OrderedDict, deque
+from collections import deque
 from typing import Any, Callable, NamedTuple
 
 from repro.indexes.base import IndexNode
@@ -78,14 +78,17 @@ class TouchFilter:
             raise ValueError("min_touches must be >= 1")
         self.capacity = capacity
         self.min_touches = min_touches
-        self._counts: "OrderedDict[int, int]" = OrderedDict()
+        # Plain dict as an LRU: insertion order is recency order (pop +
+        # reinsert moves a key to the end; the first key is the oldest).
+        self._counts: dict[int, int] = {}
 
     def admit(self, node_id: int) -> bool:
         """Count a touch; True once the node is frequent enough to cache."""
-        count = self._counts.pop(node_id, 0) + 1
-        self._counts[node_id] = count
-        if len(self._counts) > self.capacity:
-            self._counts.popitem(last=False)
+        counts = self._counts
+        count = counts.pop(node_id, 0) + 1
+        counts[node_id] = count
+        if len(counts) > self.capacity:
+            del counts[next(iter(counts))]
         return count >= self.min_touches
 
 
@@ -221,7 +224,9 @@ class LevelDescriptor(ReuseDescriptor):
     def decide(
         self, node: IndexNode, height: int, ctx: WalkContext | None = None
     ) -> InsertDecision:
-        if not self.start <= node.level <= min(self.end, height - 1):
+        # level <= min(end, height-1)  ==  level <= end and level < height
+        level = node.level
+        if level < self.start or level > self.end or level >= height:
             return BYPASS
         if self.frontier and ctx is not None and ctx.short_circuited:
             # Frontier growth: the walk already starts from a cached node;
@@ -232,7 +237,8 @@ class LevelDescriptor(ReuseDescriptor):
             if not self._filter.admit(node.node_id):
                 return BYPASS
             return INSERT_ALL
-        if node.level >= self._filter_from() and not self._filter.admit(node.node_id):
+        if (level >= (self.start + self.end + 1) // 2 + 1
+                and not self._filter.admit(node.node_id)):
             return BYPASS
         return INSERT_ALL
 

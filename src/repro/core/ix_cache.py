@@ -21,9 +21,10 @@ from __future__ import annotations
 
 import itertools
 from collections import Counter
+from operator import attrgetter
 from typing import Any
 
-from repro.core.packing import blocks_needed, can_coalesce, coalesced_tag, pack_node
+from repro.core.packing import blocks_needed, coalesced_tag, pack_node
 from repro.core.range_tag import RangeTag
 from repro.indexes.base import IndexNode
 from repro.mem.stats import CacheStats
@@ -32,6 +33,7 @@ from repro.params import BLOCK_SIZE, NS_STRIDE, CacheParams, IXCACHE_ENERGY_FJ
 
 _UTILITY_MAX = 15  # 4-bit saturating counter
 _entry_seq = itertools.count()
+_entry_level = attrgetter("tag.level")
 
 
 def _identity(k: int) -> int:
@@ -178,31 +180,37 @@ class IXCache:
         Returns the deepest cached node covering ``key`` (walk restarts
         from it), or None on a miss.
         """
-        candidates: list[IXEntry] = [
-            entry
-            for entry in self._sets[(key >> self.key_block_bits) % self.num_sets]
-            if entry.tag.matches(key)
-        ]
+        # The match stage touches every way in the set plus the wide array
+        # on each probe, so the tag comparison and part scan are inlined
+        # (no RangeTag.matches / IXEntry.select dispatch on this path).
+        candidates: list[IXEntry] = []
+        for entry in self._sets[(key >> self.key_block_bits) % self.num_sets]:
+            tag = entry.tag
+            if tag.lo <= key <= tag.hi:
+                candidates.append(entry)
         for entry in self._wide:
-            if entry.tag.matches(key):
+            tag = entry.tag
+            if tag.lo <= key <= tag.hi:
                 candidates.append(entry)
         best_node: IndexNode | None = None
         best_entry: IXEntry | None = None
-        if len(candidates) == 1:
-            # Common case: one covering entry — no tie-break sort needed.
-            node = candidates[0].select(key)
-            if node is not None:
-                best_entry, best_node = candidates[0], node
-        elif candidates:
-            for entry in sorted(candidates, key=lambda e: -e.tag.level):
-                node = entry.select(key)
-                if node is not None:
+        if len(candidates) > 1:
+            # Tie-break sort only when several entries cover the key.
+            # reverse=True is stable (equal levels keep scan order), so
+            # this matches sorting ascending on -level.
+            candidates.sort(key=_entry_level, reverse=True)
+        for entry in candidates:
+            for part_tag, node in entry.parts:
+                if part_tag.lo <= key <= part_tag.hi:
                     best_entry, best_node = entry, node
                     break
+            if best_node is not None:
+                break
         hit = best_node is not None
         self.stats.record(hit)
         if hit and best_entry is not None:
-            best_entry.utility = min(_UTILITY_MAX, best_entry.utility + 1)
+            if best_entry.utility < _UTILITY_MAX:
+                best_entry.utility += 1
             if best_entry.life > 0:
                 best_entry.life -= 1
             self.hit_levels[best_entry.tag.level] += 1
@@ -227,7 +235,9 @@ class IXCache:
     # ------------------------------------------------------------------ #
 
     def insert(
-        self, node: IndexNode, ns: Any = None, life: int = 0, key: int | None = None
+        self, node: IndexNode, ns: Any = None, life: int = 0,
+        key: int | None = None,
+        packed: list[tuple[RangeTag, IndexNode]] | None = None,
     ) -> bool:
         """Insert an index node; returns False if wholly rejected.
 
@@ -237,10 +247,14 @@ class IXCache:
         namespaced) is given and the node splits into several sub-range
         entries, only the entry the walk actually searched — the one
         covering ``key`` — is cached; the walker never read the others.
+        ``packed`` lets a caller supply a precomputed ``pack_node`` result
+        (read-only trees only — packing is pure in the node's geometry);
+        the list is never mutated here.
         """
         if ns is None:
             ns = _identity
-        packed = pack_node(node, ns, self.params.block_bytes)
+        if packed is None:
+            packed = pack_node(node, ns, self.params.block_bytes)
         if key is not None and len(packed) > 1:
             covering = [(tag, n) for tag, n in packed if tag.matches(key)]
             if covering:
@@ -266,15 +280,19 @@ class IXCache:
     def _place(self, tag: RangeTag, node: IndexNode, life: int) -> bool:
         if not self.associative:
             return self._place_in_set(0, tag, node, life)
-        first = self._key_block(tag.lo)
-        last = self._key_block(tag.hi)
-        span = last - first + 1
-        if span > self.replication_limit:
+        bits = self.key_block_bits
+        first = tag.lo >> bits
+        last = tag.hi >> bits
+        if last - first + 1 > self.replication_limit:
             return self._place_wide(tag, node, life)
+        if first == last:
+            # Single key block: the clip is the identity (the tag lies
+            # wholly inside the block), so place it unclipped.
+            return self._place_in_set(first % self.num_sets, tag, node, life)
         placed = False
         for block in range(first, last + 1):
-            block_lo = block << self.key_block_bits
-            block_hi = block_lo + (1 << self.key_block_bits) - 1
+            block_lo = block << bits
+            block_hi = block_lo + (1 << bits) - 1
             clipped = tag.clip(block_lo, block_hi)
             if self._place_in_set(block % self.num_sets, clipped, node, life):
                 placed = True
@@ -294,13 +312,32 @@ class IXCache:
         if self.coalesce and life == 0:
             # Case-3 coalescing: merge with an adjacent same-level small
             # entry. (A pinned insertion never coalesces — the original
-            # scan skipped every candidate when life > 0.)
+            # scan skipped every candidate when life > 0.) The
+            # ``can_coalesce`` legality check is inlined: this scan runs
+            # per way on every insert.
+            tag_level = tag.level
+            tag_lo = tag.lo
+            tag_hi = tag.hi
+            tag_ns = tag_lo // NS_STRIDE
+            tag_width = tag_hi - tag_lo + 1
             for entry in ways:
                 if entry.life > 0:
                     continue
-                if can_coalesce(entry.tag, tag, entry.nbytes, node_bytes, block_bytes):
+                etag = entry.tag
+                if (etag.level != tag_level
+                        or entry.nbytes + node_bytes > block_bytes):
+                    continue
+                elo = etag.lo
+                ehi = etag.hi
+                if elo // NS_STRIDE != tag_ns:
+                    continue
+                if elo <= tag_hi and tag_lo <= ehi:
+                    continue  # overlapping ranges never coalesce
+                gap = ((elo if elo > tag_lo else tag_lo)
+                       - (ehi if ehi < tag_hi else tag_hi) - 1)
+                if gap <= (ehi - elo + 1) + tag_width:
                     entry.parts.append((tag, node))
-                    entry.tag = coalesced_tag(entry.tag, tag)
+                    entry.tag = coalesced_tag(etag, tag)
                     entry.nbytes += node_bytes
                     self.stats.insertions += 1
                     if self.tracer.enabled:
@@ -355,7 +392,7 @@ class IXCache:
         entries that keep getting hit stay near the top of the counter
         range while streaming one-touch insertions churn at the bottom.
         """
-        victims = [e for e in entries if not e.pinned]
+        victims = [e for e in entries if e.life <= 0]
         if not victims:
             # Lifetime pins are advisory: rather than deadlocking a fully
             # pinned set, reclaim the pinned entry with the least remaining

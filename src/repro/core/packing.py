@@ -19,6 +19,9 @@ from repro.core.range_tag import RangeTag
 from repro.indexes.base import IndexNode
 from repro.params import BLOCK_SIZE, KEY_BYTES, NS_STRIDE, PTR_BYTES
 
+_NEG_INF = float("-inf")
+_POS_INF = float("inf")
+
 
 def blocks_needed(node: IndexNode, block_bytes: int = BLOCK_SIZE) -> int:
     """Number of cache blocks the node's keys + pointers occupy."""
@@ -40,7 +43,7 @@ def pack_node(
     """
     if node.lo is None or node.hi is None:
         return []
-    if node.lo == float("-inf") or node.hi == float("inf"):
+    if node.lo == _NEG_INF or node.hi == _POS_INF:
         # Sentinel nodes (skip-list heads) have no representable range and
         # would falsely cover other buckets' keys once clamped.
         return []

@@ -226,6 +226,13 @@ def execute_spec(spec: RunSpec) -> dict[str, Any]:
     if execute is None:
         raise ValueError(f"unknown spec op {spec.op!r}")
     random.seed(int(spec.digest()[:16], 16))
+    # The per-node block-footprint memo is unbounded; across a sweep of
+    # many differently-sized workloads it would grow without limit (and
+    # carry stale geometry between unrelated specs), so start each spec
+    # with a cold memo.
+    from repro.sim.memsys import _blocks_for
+
+    _blocks_for.cache_clear()
     payload = execute(spec)
     # Normalize through JSON so live, pooled, and cached results are
     # byte-identical (tuples -> lists, int keys -> str keys, etc.).

@@ -313,6 +313,33 @@ class SoABPlusTree:
             path.append(node)
         return path
 
+    def batch_positions(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`walk`: per-level positions for a key chunk.
+
+        Returns a ``(len(keys), height)`` int64 array whose row ``i``
+        holds the position of every node ``walk(keys[i])`` visits, one
+        ``searchsorted`` per level over the SoA ``lo`` columns instead of
+        one per (key, node). Equivalent to the scalar ``child_for``
+        because each level's ``lo`` column is strictly increasing and a
+        parent's separator array is exactly its child window of that
+        column: the scalar pick ``start + searchsorted(separators, key,
+        'right')`` equals the global "last node with lo <= key" clamped
+        into the window (keys below the window route to its first child,
+        keys beyond it to its last).
+        """
+        levels = self._levels
+        keys = np.ascontiguousarray(keys, dtype=np.int64)
+        fanout = self.fanout
+        out = np.zeros((len(keys), len(levels)), dtype=np.int64)
+        pos = out[:, 0]
+        for level in range(len(levels) - 1):
+            start = pos * fanout
+            last = start + levels[level].counts[pos] - 1
+            g = np.searchsorted(levels[level + 1].lo, keys, side="right") - 1
+            pos = np.clip(g, start, last)
+            out[:, level + 1] = pos
+        return out
+
     def _row_of(self, key: Any) -> int | None:
         idx = int(np.searchsorted(self._keys, key))
         if idx < self._size and int(self._keys[idx]) == key:

@@ -80,6 +80,23 @@ class DRAM:
             return address >> self._row_shift
         return address // self.params.row_bytes
 
+    def decompose(self, addresses):
+        """Vectorized block -> (bank, row) decomposition.
+
+        ``addresses`` is a numpy int64 array; returns ``(banks, rows)``
+        arrays with exactly the per-address arithmetic of :meth:`access`
+        (shift/mask for power-of-two geometry, divmod otherwise). The
+        batch engine precomputes these per trace instead of re-deriving
+        bank and row inside the event loop.
+        """
+        if self._fast_decomp:
+            banks = (addresses >> self._block_shift) & self._bank_mask
+            rows = addresses >> self._row_shift
+        else:
+            banks = (addresses // BLOCK_SIZE) % self.params.banks
+            rows = addresses // self.params.row_bytes
+        return banks, rows
+
     def access(self, address: int, now: int, *, write: bool = False, nbytes: int = BLOCK_SIZE) -> int:
         """Issue an access at cycle ``now``; return its completion cycle."""
         if self._fast_decomp:

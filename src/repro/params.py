@@ -148,6 +148,20 @@ class SimParams:
     #: None — and, contractually, any plan whose rates are all zero —
     #: leaves every hot path byte-identical to the fault-free simulator.
     faults: "FaultPlan | None" = None
+    #: Event-queue implementation: ``"heap"`` is the classic binary-heap
+    #: loop; ``"bucket"`` drains a cycle-indexed calendar queue, visiting
+    #: every context due at the same cycle in one pass. Contractually
+    #: byte-identical results (the bucket drain reproduces the heap's
+    #: (cycle, context) tie-break order exactly); traced and faulted runs
+    #: always take the general heap loop regardless of this setting.
+    engine: str = "heap"
+    #: Walk-generation chunk size for the vectorized batch pipeline: >0
+    #: routes timed, untraced, fault-free runs through
+    #: ``repro.sim.batch`` — numpy ``searchsorted`` path resolution over
+    #: SoA index levels plus a columnar access stream — in chunks of this
+    #: many requests. 0 (the default) keeps the scalar per-walk path.
+    #: Results are contractually byte-identical either way.
+    walk_batch: int = 0
 
 
 DEFAULT_SIM = SimParams()

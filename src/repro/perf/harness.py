@@ -16,11 +16,12 @@ for performance PRs (docs/performance.md).
 from __future__ import annotations
 
 import json
+import os
 import platform
 import sys
 import time
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Iterable
 
 from repro.perf.kernels import KERNELS
 
@@ -79,12 +80,16 @@ class PerfReport:
     kernels: dict[str, KernelResult] = field(default_factory=dict)
 
     def to_dict(self) -> dict[str, Any]:
+        import numpy
+
         return {
             "schema": PERF_SCHEMA,
             "scale": self.scale,
             "repeat": self.repeat,
             "warmup": self.warmup,
             "python": platform.python_version(),
+            "numpy": numpy.__version__,
+            "cpu_count": os.cpu_count(),
             "kernels": {name: k.to_dict() for name, k in self.kernels.items()},
         }
 
@@ -160,7 +165,8 @@ def format_report(report: PerfReport) -> str:
 
 
 def compare_reports(
-    baseline: dict[str, Any], report: PerfReport
+    baseline: dict[str, Any], report: PerfReport,
+    only: Iterable[str] | None = None,
 ) -> tuple[dict[str, float], list[str]]:
     """Compare a run against a stored baseline report.
 
@@ -168,7 +174,9 @@ def compare_reports(
     (baseline median / current median; >1 means this tree is faster) and
     the hard failures — checksum mismatches or kernels missing from the
     run. Ratios are only computed for kernels whose recorded scale
-    matches; a scale mismatch voids the whole comparison.
+    matches; a scale mismatch voids the whole comparison. ``only``
+    restricts the gate to an explicit kernel subset (a ``--kernels``
+    run), so the baseline's other kernels are not reported missing.
     """
     mismatches: list[str] = []
     speedups: dict[str, float] = {}
@@ -180,6 +188,11 @@ def compare_reports(
         )
         return speedups, mismatches
     base_kernels: dict[str, Any] = baseline.get("kernels", {})
+    if only is not None:
+        wanted = set(only)
+        base_kernels = {
+            name: k for name, k in base_kernels.items() if name in wanted
+        }
     for name, want in sorted(base_kernels.items()):
         got = report.kernels.get(name)
         if got is None:

@@ -17,7 +17,15 @@ The profiled hot paths these kernels pin down (see docs/performance.md):
 * ``walk_gen``      — B+tree ``walk()`` plus the per-node
   :func:`_node_blocks` footprint used by every memory system.
 * ``simulate_e2e``  — the full ``build_memsys`` + :func:`simulate` cell
-  the bench matrix is made of (scan workload, METAL system).
+  the bench matrix is made of (scan workload, METAL system), run on the
+  vectorized backend (SoA storage, bucket engine, batched walks). Its
+  checksum is the scalar path's digest: drift means the byte-identity
+  gate broke.
+* ``bucket_drain``      — the calendar-queue engine over the same traces
+  ``engine_loop`` times (same checksum: the engines are equivalent).
+* ``batched_walk_gen``  — ``searchsorted`` chunk resolution through the
+  SoA level arrays plus the vectorized block-count baseline.
+* ``vector_dram_decomp`` — array block->(bank,row) decomposition.
 """
 
 from __future__ import annotations
@@ -180,6 +188,74 @@ def _run_walks(state: Any) -> int:
 
 
 # --------------------------------------------------------------------- #
+# bucket_drain
+# --------------------------------------------------------------------- #
+
+
+def _run_bucket(traces: Any) -> int:
+    from repro.params import SimParams
+    from repro.sim.engine import Engine
+
+    engine = Engine(SimParams(engine="bucket"))
+    result = engine.run(traces, record_latencies=True)
+    return (result.makespan * 1_000_003
+            + result.total_walk_cycles
+            + sum(result.walk_latencies)) % (1 << 61)
+
+
+# --------------------------------------------------------------------- #
+# batched_walk_gen
+# --------------------------------------------------------------------- #
+
+
+def _setup_batched_walks(scale: float) -> Any:
+    import numpy as np
+
+    from repro.indexes.soa import SoABPlusTree
+
+    num_keys = max(2_048, int(20_000 * scale * 20))
+    tree = SoABPlusTree(np.arange(num_keys, dtype=np.int64), fanout=12)
+    rng = random.Random(42)
+    keys = [rng.randrange(0, num_keys) for _ in range(num_keys)]
+    return tree, keys
+
+
+def _run_batched_walks(state: Any) -> int:
+    import numpy as np
+
+    from repro.sim.batch import BatchWalkPlanner
+    from repro.workloads.stream import chunked
+
+    tree, keys = state
+    planner = BatchWalkPlanner(tree)
+    acc = 0
+    for part in chunked(keys, 512):
+        rows = planner.positions(np.asarray(part, dtype=np.int64))
+        acc += int(rows.sum()) * 3 + planner.baseline(rows)
+    return acc % (1 << 61)
+
+
+# --------------------------------------------------------------------- #
+# vector_dram_decomp
+# --------------------------------------------------------------------- #
+
+
+def _setup_vector_dram(scale: float) -> Any:
+    import numpy as np
+
+    return np.asarray(_setup_dram(scale), dtype=np.int64)
+
+
+def _run_vector_dram(addresses: Any) -> int:
+    from repro.mem.dram import DRAM
+
+    dram = DRAM()
+    banks, rows = dram.decompose(addresses)
+    return int(int(banks.sum()) * 7 + int(rows.sum()) * 13
+               + int(banks[-1]) + int(rows[-1])) % (1 << 61)
+
+
+# --------------------------------------------------------------------- #
 # simulate_e2e
 # --------------------------------------------------------------------- #
 
@@ -187,13 +263,17 @@ def _run_walks(state: Any) -> int:
 def _setup_simulate(scale: float) -> Any:
     from repro.workloads.suite import build_workload
 
-    return build_workload("scan", scale=scale)
+    return build_workload("scan", scale=scale, backend="soa")
 
 
 def _run_simulate(workload: Any) -> str:
+    from dataclasses import replace
+
     from repro.bench.runner import run_workload
 
-    result = run_workload(workload, "metal")
+    sim = replace(workload.config.sim_params(), engine="bucket",
+                  walk_batch=256)
+    result = run_workload(workload, "metal", sim=sim)
     return _checksum_json(result.to_dict())
 
 
@@ -207,8 +287,15 @@ KERNELS: dict[str, tuple[SetupFn, RunFn, str]] = {
                       "IXCache insert + probe (placement and range match)"),
     "walk_gen": (_setup_walks, _run_walks,
                  "B+tree walk() + per-node _node_blocks footprint"),
+    "bucket_drain": (_setup_engine, _run_bucket,
+                     "calendar-queue engine over the engine_loop traces"),
+    "batched_walk_gen": (_setup_batched_walks, _run_batched_walks,
+                         "searchsorted chunk walks + vectorized baseline"),
+    "vector_dram_decomp": (_setup_vector_dram, _run_vector_dram,
+                           "array block->(bank,row) DRAM decomposition"),
     "simulate_e2e": (_setup_simulate, _run_simulate,
-                     "build_memsys + simulate for scan/metal (to_dict digest)"),
+                     "build_memsys + simulate for scan/metal on the "
+                     "vectorized backend (to_dict digest)"),
 }
 
 

@@ -22,25 +22,44 @@ from collections.abc import Callable, Iterable, Sequence
 from functools import lru_cache
 from typing import Any
 
-from repro.core.descriptors import WalkContext
+from repro.core.descriptors import LevelDescriptor, WalkContext
+from repro.core.ix_cache import _UTILITY_MAX, _entry_level
 from repro.core.metal import Metal, MetalIX
+from repro.core.packing import pack_node
 from repro.indexes.base import IndexNode
 from repro.mem.address_cache import AddressCache
 from repro.mem.opt_cache import belady_hit_flags
 from repro.mem.stats import CacheStats
 from repro.obs.tracer import NULL_TRACER
 from repro.params import BLOCK_SIZE, NS_STRIDE, CacheParams, SimParams
-from repro.sim.engine import Access, WalkTrace
+from repro.sim.engine import (
+    Access,
+    K_DRAM,
+    K_LATENCY,
+    K_PREFETCH,
+    K_SRAM,
+    WalkTrace,
+)
+
+
+#: Preallocated WalkContext rows for the batch emitters: a context is a
+#: pure (short_circuited, position) value, so walks at the same position
+#: share one instance instead of allocating a NamedTuple per node.
+_CTX_MAX = 64
+_CTX_FULL = tuple(WalkContext(False, p) for p in range(_CTX_MAX))
+_CTX_SHORT = tuple(WalkContext(True, p) for p in range(_CTX_MAX))
 
 
 def namespace_fn(index: Any) -> Callable[[int], int]:
     """Map raw index keys into the shared, per-index namespaced key space."""
     base = getattr(index, "index_id", 0) * NS_STRIDE
+    neg_inf = float("-inf")
+    pos_inf = float("inf")
 
     def ns(key: Any) -> int:
-        if key is None or key == float("-inf"):
+        if key is None or key == neg_inf:
             key = 0
-        elif key == float("inf"):
+        elif key == pos_inf:
             key = NS_STRIDE - 1
         k = int(key)
         if k < 0:
@@ -100,6 +119,10 @@ class MemorySystem(ABC):
         # ever read Access objects, so the hot loops skip an allocation
         # per visited node.
         self._search_step = Access("compute", cycles=self.sim.t_search)
+        # Memoized namespace closures keyed by index_id (namespace_fn is
+        # a pure function of the id, so sharing one closure per index is
+        # behavior-identical to the scalar per-walk construction).
+        self._ns_cache: dict[int, Callable[[int], int]] = {}
 
     def attach_faults(self, injector) -> None:
         """Wire a FaultInjector into the trace-generation path."""
@@ -154,6 +177,39 @@ class MemorySystem(ABC):
         for addr in _node_blocks(leaf):
             accesses.append(Access("dram", addr, BLOCK_SIZE))
 
+    def process_chunk(self, batch: Any, requests: list[Any], prepared: list[Any]) -> None:
+        """Emit one request chunk into a columnar ``TraceBatch``.
+
+        ``prepared[i]`` is ``(planner, positions_row)`` when the batch
+        planner resolved request ``i``'s walk vectorized, else None.
+        The base implementation is the exact scalar fallback — one
+        WalkTrace per request, converted by ``TraceBatch.add_trace`` —
+        so order-sensitive systems (FA-OPT replay, the L2 hierarchy)
+        and range scans stay byte-identical without native emitters.
+        Subclasses with native emitters must preserve per-request cache
+        mutation order exactly.
+        """
+        for request in requests:
+            self._fallback_walk(batch, request)
+
+    def _fallback_walk(self, batch: Any, request: Any) -> None:
+        """Scalar trace generation for one request, columnarized."""
+        if request.scan_hi is not None:
+            trace = self.process_range_scan(
+                request.index, request.key, request.scan_hi
+            )
+        else:
+            trace = self.process_walk(request.index, request.key)
+        batch.add_trace(trace, request)
+
+    def _ns_for(self, index: Any) -> Callable[[int], int]:
+        index_id = getattr(index, "index_id", 0)
+        ns = self._ns_cache.get(index_id)
+        if ns is None:
+            ns = namespace_fn(index)
+            self._ns_cache[index_id] = ns
+        return ns
+
     @property
     def cache_stats(self) -> CacheStats | None:
         return None
@@ -182,6 +238,32 @@ class StreamingMemSys(MemorySystem):
                 append(Access("dram", addr, BLOCK_SIZE))
             append(search)
         return WalkTrace(key, accesses, start_level=0, nodes_visited=len(path))
+
+    def process_chunk(self, batch: Any, requests: list[Any], prepared: list[Any]) -> None:
+        t_search = self.sim.t_search
+        kinds = batch.kinds
+        a1 = batch.a1
+        a2 = batch.a2
+        for request, prep in zip(requests, prepared):
+            if prep is None:
+                self._fallback_walk(batch, request)
+                continue
+            planner, row = prep
+            templates = planner.template_map(t_search)
+            offsets = planner._level_offsets
+            index_dram = 0
+            for level, pos in enumerate(row):
+                linear = offsets[level] + pos
+                t = templates.get(linear)
+                if t is None:
+                    t = planner.build_template(level, pos, t_search)
+                    templates[linear] = t
+                kinds += t[0]
+                a1 += t[1]
+                a2 += t[2]
+                index_dram += t[3]
+            batch.index_dram += index_dram
+            batch.finish_walk(request, 0, planner.height, False, False)
 
 
 class AddressCacheMemSys(MemorySystem):
@@ -240,6 +322,47 @@ class AddressCacheMemSys(MemorySystem):
                             insert(nxt)
             append(search)
         return WalkTrace(key, accesses, start_level=0, nodes_visited=len(path))
+
+    def process_chunk(self, batch: Any, requests: list[Any], prepared: list[Any]) -> None:
+        t_probe = self.sim.t_addr_probe
+        t_search = self.sim.t_search
+        kinds = batch.kinds
+        a1 = batch.a1
+        a2 = batch.a2
+        lookup = self.cache.lookup
+        insert = self.cache.insert
+        contains = self.cache.contains
+        prefetch = self.prefetch
+        block_size = BLOCK_SIZE
+        for request, prep in zip(requests, prepared):
+            if prep is None:
+                self._fallback_walk(batch, request)
+                continue
+            planner, row = prep
+            index_dram = 0
+            for level, pos in enumerate(row):
+                for block_addr in planner.blocks(level, pos):
+                    kinds.append(K_SRAM)
+                    a1.append(block_addr // block_size)
+                    a2.append(t_probe)
+                    if not lookup(block_addr):
+                        kinds.append(K_DRAM)
+                        a1.append(block_addr)
+                        a2.append(0)
+                        index_dram += 1
+                        insert(block_addr)
+                        if prefetch:
+                            nxt = block_addr + block_size
+                            if not contains(nxt):
+                                kinds.append(K_PREFETCH)
+                                a1.append(nxt)
+                                a2.append(0)
+                                insert(nxt)
+                kinds.append(K_LATENCY)
+                a1.append(t_search)
+                a2.append(0)
+            batch.index_dram += index_dram
+            batch.finish_walk(request, 0, planner.height, False, False)
 
     def _scan_leaf(self, index: Any, leaf: IndexNode, accesses: list[Access]) -> None:
         for block_addr in _node_blocks(leaf):
@@ -442,6 +565,48 @@ class XCacheMemSys(MemorySystem):
         self.cache.insert(ns(key), path[-1])
         return WalkTrace(key, accesses, start_level=0, nodes_visited=len(path))
 
+    def process_chunk(self, batch: Any, requests: list[Any], prepared: list[Any]) -> None:
+        t_probe = self.sim.t_addr_probe
+        t_search = self.sim.t_search
+        kinds = batch.kinds
+        a1 = batch.a1
+        a2 = batch.a2
+        lookup = self.cache.lookup
+        insert = self.cache.insert
+        for request, prep in zip(requests, prepared):
+            if prep is None:
+                self._fallback_walk(batch, request)
+                continue
+            planner, row = prep
+            ns = self._ns_for(request.index)
+            ns_key = ns(request.key)
+            kinds.append(K_SRAM)
+            a1.append(hash(ns_key) & 0xFFFF)
+            a2.append(t_probe)
+            leaf = lookup(ns_key)
+            if leaf is not None:
+                # Fast path: the whole walk is short-circuited.
+                batch.finish_walk(
+                    request, getattr(leaf, "level", 0), 0, True, True
+                )
+                continue
+            templates = planner.template_map(t_search)
+            offsets = planner._level_offsets
+            index_dram = 0
+            for level, pos in enumerate(row):
+                linear = offsets[level] + pos
+                t = templates.get(linear)
+                if t is None:
+                    t = planner.build_template(level, pos, t_search)
+                    templates[linear] = t
+                kinds += t[0]
+                a1 += t[1]
+                a2 += t[2]
+                index_dram += t[3]
+            insert(ns_key, planner.view(planner.height - 1, row[-1]))
+            batch.index_dram += index_dram
+            batch.finish_walk(request, 0, planner.height, False, False)
+
 
 class MetalMemSys(MemorySystem):
     """METAL / METAL-IX: IX-cache probe + pattern-directed insertions."""
@@ -548,6 +713,261 @@ class MetalMemSys(MemorySystem):
             short_circuited=short,
             full_hit=short and not remaining,
         )
+
+    def process_chunk(self, batch: Any, requests: list[Any], prepared: list[Any]) -> None:
+        # The scalar probe/consider/end_walk pipeline with the dispatch
+        # chain (MetalIX.consider -> PatternController.decide ->
+        # descriptor.decide) inlined: same calls on the same state in the
+        # same order, minus two Python frames per visited node.
+        policy = self.policy
+        cache = policy.cache
+        cache_insert = cache.insert
+        cache_stats = cache.stats
+        cache_tracer = cache.tracer
+        sets = cache._sets
+        wide = cache._wide
+        kbb = cache.key_block_bits
+        num_sets = cache.num_sets
+        hit_levels = cache.hit_levels
+        controller = policy.controller
+        ctrl_tracer = controller.tracer if controller is not None else None
+        t_probe = self.sim.t_ix_probe
+        t_search = self.sim.t_search
+        block_bytes = cache.params.block_bytes
+        tracked = self._tracked
+        ns_cache = self._ns_cache
+        kinds = batch.kinds
+        a1 = batch.a1
+        a2 = batch.a2
+        b_offsets = batch.offsets
+        b_start_levels = batch.start_levels
+        b_visits = batch.visits
+        cur_planner = None  # memoized map lookups (one index per chunk
+        cur_index = -1      # in the common case)
+        wt_map: Any = None
+        packed_map: Any = None
+        # Batch counters accumulated locally, flushed once after the loop.
+        accesses = 0
+        hits = 0
+        index_dram = 0
+        nodes_visited = 0
+        shorts = 0
+        fulls = 0
+        for request, prep in zip(requests, prepared):
+            if prep is None:
+                self._fallback_walk(batch, request)
+                continue
+            planner, row = prep
+            index = request.index
+            key = request.key
+            index_id = index.index_id
+            if index_id not in tracked:
+                self._track(index)
+            ns = ns_cache.get(index_id)
+            if ns is None:
+                ns = self._ns_for(index)
+            height = planner.height
+            if controller is not None:
+                descriptor = controller._by_index.get(
+                    index_id, controller._default
+                )
+                if descriptor is not None:
+                    descriptor.observe_key(key)
+            else:
+                descriptor = None
+            ns_key = ns(key)
+            kinds.append(K_SRAM)
+            set_idx = (ns_key >> kbb) % num_sets
+            a1.append(set_idx)
+            a2.append(t_probe)
+            # IXCache.probe inlined (same scans, same tie-break, same
+            # stats/utility updates; counters flushed after the loop).
+            candidates = []
+            for entry in sets[set_idx]:
+                tag = entry.tag
+                if tag.lo <= ns_key <= tag.hi:
+                    candidates.append(entry)
+            for entry in wide:
+                tag = entry.tag
+                if tag.lo <= ns_key <= tag.hi:
+                    candidates.append(entry)
+            start = None
+            accesses += 1
+            if candidates:
+                if len(candidates) > 1:
+                    candidates.sort(key=_entry_level, reverse=True)
+                for entry in candidates:
+                    for part_tag, part_node in entry.parts:
+                        if part_tag.lo <= ns_key <= part_tag.hi:
+                            start = part_node
+                            break
+                    if start is not None:
+                        hits += 1
+                        if entry.utility < _UTILITY_MAX:
+                            entry.utility += 1
+                        if entry.life > 0:
+                            entry.life -= 1
+                        hit_levels[entry.tag.level] += 1
+                        break
+            if cache_tracer.enabled:
+                cache_tracer.emit("ix_probe", key=ns_key,
+                                  hit=start is not None)
+                if start is not None:
+                    cache_tracer.emit("ix_hit", key=ns_key,
+                                      level=entry.tag.level)
+            if start is not None and start.covers(key):
+                # A covering cached node is exactly the node the full
+                # walk routes through at its level (sibling ranges are
+                # disjoint and a parent's range covers its children's),
+                # so the rest of the path is the positions row below it
+                # — the scalar ``walk_from`` without the per-level
+                # ``child_for`` chain. The SoA tree is read-only, so
+                # the scalar path's stale-node KeyError cannot occur.
+                start_level = start.level
+                base_level = start_level + 1
+                short = True
+                ctx_row = _CTX_SHORT
+            else:
+                start_level = 0
+                base_level = 0
+                short = False
+                ctx_row = _CTX_FULL
+            if planner is not cur_planner or index_id != cur_index:
+                cur_planner = planner
+                cur_index = index_id
+                wt_map = planner.walk_template_map(t_search)
+                packed_map = planner.packed_map(index_id, block_bytes)
+            wt_key = (base_level, row[-1])
+            wt = wt_map.get(wt_key)
+            if wt is None:
+                wt = planner.build_walk_template(base_level, row, t_search)
+                wt_map[wt_key] = wt
+            kinds += wt[0]
+            a1 += wt[1]
+            a2 += wt[2]
+            index_dram += wt[3]
+            nodes = wt[4]
+            if descriptor is None:
+                # Greedy insert-all (METAL-IX, or no governing
+                # descriptor): PatternController.decide returns
+                # INSERT_ALL without counting insertions.
+                for lp, node in nodes:
+                    packed = packed_map.get(lp)
+                    if packed is None:
+                        packed = pack_node(node, ns, block_bytes)
+                        packed_map[lp] = packed
+                    cache_insert(node, ns, key=ns_key, packed=packed)
+            elif type(descriptor) is LevelDescriptor:
+                # LevelDescriptor.decide inlined: it only ever returns the
+                # two life-0 singletons, and tune() runs between walks, so
+                # the band bounds are constants for this request. Same
+                # checks, same TouchFilter.admit call order.
+                insertions = controller._insertions_by_level
+                ctrl_enabled = ctrl_tracer.enabled
+                d_start = descriptor.start
+                d_end = descriptor.end
+                d_mid = (d_start + d_end + 1) // 2 + 1
+                frontier_walk = short and descriptor.frontier
+                admit = descriptor._filter.admit
+                position = 0
+                for lp, node in nodes:
+                    level = lp[0]
+                    if level < d_start or level > d_end or level >= height:
+                        ins = False
+                    elif frontier_walk:
+                        ins = position == 0 and admit(node.node_id)
+                    else:
+                        ins = level < d_mid or admit(node.node_id)
+                    position += 1
+                    if ins:
+                        insertions[level] += 1
+                        if ctrl_enabled:
+                            ctrl_tracer.emit(
+                                "desc_decision", level=level,
+                                insert=True, life=0)
+                        packed = packed_map.get(lp)
+                        if packed is None:
+                            packed = pack_node(node, ns, block_bytes)
+                            packed_map[lp] = packed
+                        cache_insert(node, ns, key=ns_key, packed=packed)
+                    else:
+                        if ctrl_enabled:
+                            ctrl_tracer.emit(
+                                "desc_decision", level=level,
+                                insert=False, life=0)
+                        cache_stats.bypasses += 1
+                        if cache_tracer.enabled:
+                            cache_tracer.emit("ix_bypass", reason="pattern")
+            else:
+                insertions = controller._insertions_by_level
+                ctrl_enabled = ctrl_tracer.enabled
+                decide = descriptor.decide
+                position = 0
+                for lp, node in nodes:
+                    level = lp[0]
+                    ctx = (ctx_row[position] if position < _CTX_MAX
+                           else WalkContext(short, position))
+                    position += 1
+                    decision = decide(node, height, ctx)
+                    if decision.insert:
+                        insertions[level] += 1
+                        if ctrl_enabled:
+                            ctrl_tracer.emit(
+                                "desc_decision", level=level,
+                                insert=True, life=decision.life)
+                        packed = packed_map.get(lp)
+                        if packed is None:
+                            packed = pack_node(node, ns, block_bytes)
+                            packed_map[lp] = packed
+                        cache_insert(node, ns, life=decision.life,
+                                     key=ns_key, packed=packed)
+                    else:
+                        if ctrl_enabled:
+                            ctrl_tracer.emit(
+                                "desc_decision", level=level,
+                                insert=False, life=decision.life)
+                        cache_stats.bypasses += 1
+                        if cache_tracer.enabled:
+                            cache_tracer.emit("ix_bypass", reason="pattern")
+            if controller is not None:
+                walks = controller._walks_in_batch + 1
+                controller._walks_in_batch = walks
+                if walks >= controller.batch_walks:
+                    controller._finish_batch()
+            # TraceBatch.finish_walk inlined (same appends, same order).
+            address = request.data_address
+            if address is not None:
+                nbytes = request.data_bytes
+                if nbytes <= BLOCK_SIZE:
+                    kinds.append(K_DRAM)
+                    a1.append(address)
+                    a2.append(0)
+                else:
+                    for tail in range(0, nbytes, BLOCK_SIZE):
+                        kinds.append(K_DRAM)
+                        a1.append(address + tail)
+                        a2.append(0)
+            compute = request.compute_cycles
+            if compute:
+                kinds.append(K_LATENCY)
+                a1.append(compute)
+                a2.append(0)
+            b_offsets.append(len(kinds))
+            b_start_levels.append(start_level)
+            visited = len(nodes)
+            b_visits.append(visited)
+            nodes_visited += visited
+            if short:
+                shorts += 1
+                if not nodes:
+                    fulls += 1
+        cache_stats.accesses += accesses
+        cache_stats.hits += hits
+        cache_stats.misses += accesses - hits
+        batch.index_dram += index_dram
+        batch.nodes_visited += nodes_visited
+        batch.short_circuited += shorts
+        batch.full_hits += fulls
 
     def _scan_leaf(self, index: Any, leaf: IndexNode, accesses: list[Access]) -> None:
         ns = namespace_fn(index)

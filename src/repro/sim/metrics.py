@@ -328,6 +328,21 @@ def simulate(
         memsys.attach_faults(injector)
         if tracing:
             injector.attach_obs(registry)
+    if timed and sim.walk_batch > 0 and not tracing and injector is None:
+        # Vectorized batch pipeline (contractually byte-identical; see
+        # repro.sim.batch). Traced and faulted runs always stay on the
+        # scalar path below so injection sites and event attribution
+        # keep one canonical order.
+        from repro.sim.batch import simulate_batched
+
+        return simulate_batched(
+            memsys,
+            requests,
+            sim,
+            total_index_blocks=total_index_blocks,
+            record_latencies=record_latencies,
+            working_set_window=working_set_window,
+        )
     traces: list[WalkTrace] = []
     short = full = visited = 0
     index_dram = baseline = 0

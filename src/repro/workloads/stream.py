@@ -225,6 +225,19 @@ class KeyStream:
         return cls(count, make)
 
 
+def chunked(seq: list, size: int) -> Iterator[list]:
+    """Yield ``seq`` in contiguous slices of at most ``size`` items.
+
+    The request-side twin of :meth:`KeyStream.chunks`: the batch
+    pipeline (``repro.sim.batch``) walks request lists chunk-at-a-time
+    so its numpy intermediates stay O(chunk), not O(run).
+    """
+    if size <= 0:
+        raise ValueError("chunk size must be positive")
+    for start in range(0, len(seq), size):
+        yield seq[start : start + size]
+
+
 def range_spans(
     starts: KeyStream, span: int, universe: int
 ) -> Iterator[tuple[int, int]]:
@@ -239,4 +252,4 @@ def range_spans(
             yield s, min(hi_cap, s + span)
 
 
-__all__ = ["DEFAULT_CHUNK", "KeyStream", "range_spans"]
+__all__ = ["DEFAULT_CHUNK", "KeyStream", "chunked", "range_spans"]

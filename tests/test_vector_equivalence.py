@@ -1,0 +1,65 @@
+"""Byte-identity of the vectorized batch core across every system.
+
+The equivalence gate in one test module: for each memory system and a
+small workload, the bucket engine, the batched walk pipeline, and their
+combination must produce a ``RunResult`` whose canonical JSON equals the
+scalar path byte for byte. This is the tier-1 anchor of the CI
+``vectorized-equivalence`` job (which re-runs the sweep at larger scale
+via ``repro.bench.vector_check``).
+"""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.bench.runner import SYSTEMS, run_workload
+from repro.bench.vector_check import VARIANTS, check_cell, run_matrix
+from repro.workloads.suite import build_workload
+
+SCALE = 0.01
+
+
+def _canon(result):
+    return json.dumps(result.to_dict(), sort_keys=True)
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+@pytest.mark.parametrize("backend", ("soa", "object"))
+def test_vectorized_byte_identical_scan(system, backend):
+    workload = build_workload("scan", scale=SCALE, backend=backend)
+    base_sim = workload.config.sim_params()
+    reference = _canon(run_workload(workload, system, sim=base_sim))
+    for label, overrides in VARIANTS:
+        got = _canon(run_workload(
+            workload, system, sim=replace(base_sim, **overrides)
+        ))
+        assert got == reference, (
+            f"{system}/{backend}/{label} diverged from scalar"
+        )
+
+
+@pytest.mark.parametrize("system", ("metal", "metal_ix"))
+def test_vectorized_byte_identical_select(system):
+    assert check_cell("select", "soa", system, SCALE) == []
+
+
+def test_odd_chunk_sizes_byte_identical():
+    """Chunk boundaries must not leak into results (last partial chunk)."""
+    workload = build_workload("scan", scale=SCALE, backend="soa")
+    base_sim = workload.config.sim_params()
+    reference = _canon(run_workload(workload, "metal", sim=base_sim))
+    for walk_batch in (1, 7, 64):
+        got = _canon(run_workload(
+            workload, "metal",
+            sim=replace(base_sim, engine="bucket", walk_batch=walk_batch),
+        ))
+        assert got == reference, f"walk_batch={walk_batch} diverged"
+
+
+def test_run_matrix_reports_clean():
+    failures = run_matrix(
+        scales=[SCALE], workloads=["scan"], systems=["xcache"],
+        verbose=False,
+    )
+    assert failures == []
