@@ -1,0 +1,320 @@
+"""Policy lab — replacement policies x workloads, hit-rate vs tag-energy.
+
+The IX-cache's utility-RRIP policy is one point in a design space; this
+lab sweeps every registered :mod:`repro.core.policy` implementation (plus
+an auto-tuned variant of the default) across METAL workloads and reports
+the two axes the tag-store design trades off:
+
+* **hit rate** — what the policy buys;
+* **tag energy** — what its metadata costs. Each policy declares its
+  per-entry tag width (4-bit utility counters vs 32-bit LRU timestamps
+  vs 2-bit multi-step classes), and every probe reads ``ways`` tags
+  while every hit/insert writes one back.
+
+Cells run through the exec pipeline (``RunSpec.policy`` /
+``RunSpec.tuner``), so they dedup, parallelize, and cache exactly like
+report cells. The per-workload Pareto front answers the design question
+directly: a policy off the front is dominated — some other policy hits
+at least as often for no more tag energy.
+
+``BENCH_policy.json`` stores the sweep's key metrics with a relative
+tolerance, same discipline as the other BENCH gates; ``--check`` exits
+2 when the baseline is missing and 3 on regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import Any
+
+from repro.bench.format import render_table
+from repro.bench.runner import cache_params_for
+from repro.core.policy import POLICIES, make_policy, tag_energy_fj
+from repro.exec.executor import Executor
+from repro.exec.spec import RunSpec
+
+BASELINE_SCHEMA = "policy-lab/1"
+BASELINE_DEFAULT_RTOL = 0.05
+BASELINE_DEFAULT_PATH = "BENCH_policy.json"
+EXIT_BASELINE_MISSING = 2
+EXIT_REGRESSION = 3
+
+#: The tuned variant's cell label: default policy + online threshold tuner.
+TUNED_LABEL = "utility_rrip+tuned"
+
+#: Deterministic tuner config for the lab's tuned cells.
+TUNER_CONFIG = {"low_churn": 0.25, "high_churn": 0.75, "step": 1}
+
+DEFAULT_WORKLOADS = ("scan", "select", "sets_s", "rtree")
+DEFAULT_SYSTEM = "metal"
+
+
+def _cell_metrics(result_dict: dict[str, Any], tag_bits: int, ways: int) -> dict:
+    cache = result_dict["cache"]
+    accesses = cache["accesses"]
+    hits = cache["hits"]
+    return {
+        "hit_rate": (hits / accesses) if accesses else 0.0,
+        "tag_energy_fj": tag_energy_fj(
+            tag_bits, accesses, hits, cache["insertions"], ways=ways
+        ),
+        "tag_bits": tag_bits,
+        "evictions": cache["evictions"],
+        "insertions": cache["insertions"],
+        "miss_rate": result_dict["miss_rate"],
+        "makespan": result_dict["makespan"],
+    }
+
+
+def pareto_front(cells: dict[str, dict]) -> list[str]:
+    """Labels on the (hit_rate up, tag_energy_fj down) Pareto front.
+
+    A cell is dominated when another hits at least as often for no more
+    tag energy, strictly better on at least one axis.
+    """
+    front = []
+    for label, cell in cells.items():
+        dominated = any(
+            other["hit_rate"] >= cell["hit_rate"]
+            and other["tag_energy_fj"] <= cell["tag_energy_fj"]
+            and (
+                other["hit_rate"] > cell["hit_rate"]
+                or other["tag_energy_fj"] < cell["tag_energy_fj"]
+            )
+            for other_label, other in cells.items()
+            if other_label != label
+        )
+        if not dominated:
+            front.append(label)
+    return sorted(front)
+
+
+def sweep(
+    policies: tuple[str, ...] = (),
+    workloads: tuple[str, ...] = DEFAULT_WORKLOADS,
+    scale: float = 0.01,
+    seed: int = 0,
+    jobs: int | str = 1,
+    system: str = DEFAULT_SYSTEM,
+    tuned: bool = True,
+) -> dict[str, Any]:
+    """Run the policies x workloads grid; returns the payload dict."""
+    policies = tuple(policies) or tuple(sorted(POLICIES))
+    cells: list[tuple[str, str, int]] = []  # (workload, label, tag_bits)
+    specs: list[RunSpec] = []
+    for workload in workloads:
+        for name in policies:
+            specs.append(RunSpec.make(
+                workload, system, scale=scale, seed=seed, policy=name,
+            ))
+            cells.append((workload, name, make_policy(name).tag_bits))
+        if tuned:
+            specs.append(RunSpec.make(
+                workload, system, scale=scale, seed=seed, tuner=TUNER_CONFIG,
+            ))
+            cells.append((workload, TUNED_LABEL, make_policy(None).tag_bits))
+
+    executor = Executor(jobs=jobs)
+    outcomes = executor.run(specs)
+    ways = cache_params_for(system, 1).ways
+
+    by_workload: dict[str, dict[str, dict]] = {w: {} for w in workloads}
+    for (workload, label, tag_bits), outcome in zip(cells, outcomes):
+        payload = outcome.check().payload
+        by_workload[workload][label] = _cell_metrics(
+            payload["result"], tag_bits, ways
+        )
+
+    pareto = {w: pareto_front(c) for w, c in by_workload.items()}
+    default_dominated = sorted(
+        w for w, front in pareto.items() if "utility_rrip" not in front
+    )
+    return {
+        "schema": BASELINE_SCHEMA,
+        "scale": scale,
+        "seed": seed,
+        "system": system,
+        "policies": list(policies) + ([TUNED_LABEL] if tuned else []),
+        "workloads": list(workloads),
+        "cells": by_workload,
+        "pareto": pareto,
+        "default_dominated_on": default_dominated,
+    }
+
+
+def render(payload: dict[str, Any]) -> str:
+    lines = []
+    for workload in payload["workloads"]:
+        cells = payload["cells"][workload]
+        front = set(payload["pareto"][workload])
+        rows = [
+            [
+                label,
+                cell["tag_bits"],
+                cell["hit_rate"],
+                cell["tag_energy_fj"] / 1e6,  # -> nJ, readable magnitudes
+                cell["evictions"],
+                "*" if label in front else "",
+            ]
+            for label, cell in sorted(
+                cells.items(), key=lambda kv: -kv[1]["hit_rate"]
+            )
+        ]
+        lines.append(render_table(
+            ["policy", "tag_bits", "hit_rate", "tag_energy_nJ",
+             "evictions", "pareto"],
+            rows,
+            title=f"{workload} @ scale {payload['scale']:g} ({payload['system']})",
+        ))
+        lines.append("")
+    if payload["default_dominated_on"]:
+        lines.append(
+            "utility_rrip off the Pareto front on: "
+            + ", ".join(payload["default_dominated_on"])
+        )
+    else:
+        lines.append("utility_rrip on the Pareto front for every workload")
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------- #
+# Baseline gate (same write/compare discipline as bench.report)
+# --------------------------------------------------------------------- #
+
+
+def extract_key_metrics(payload: dict[str, Any]) -> dict[str, float]:
+    metrics: dict[str, float] = {}
+    for workload, cells in sorted(payload["cells"].items()):
+        for label, cell in sorted(cells.items()):
+            prefix = f"policy.{workload}.{label}"
+            metrics[f"{prefix}.hit_rate"] = cell["hit_rate"]
+            metrics[f"{prefix}.tag_energy_fj"] = cell["tag_energy_fj"]
+    return metrics
+
+
+def write_baseline(path: str, payload: dict[str, Any], rtol: float) -> dict:
+    baseline = {
+        "schema": BASELINE_SCHEMA,
+        "scale": payload["scale"],
+        "system": payload["system"],
+        "rtol": rtol,
+        "metrics": extract_key_metrics(payload),
+    }
+    with open(path, "w") as f:
+        json.dump(baseline, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return baseline
+
+
+def compare_baseline(
+    baseline: dict, payload: dict[str, Any], rtol: float | None = None
+) -> tuple[list[str], list[str]]:
+    """(regressions, notes) — same contract as bench.report's gate."""
+    tol = rtol if rtol is not None else baseline.get("rtol", BASELINE_DEFAULT_RTOL)
+    expected: dict[str, float] = baseline.get("metrics", {})
+    actual = extract_key_metrics(payload)
+    regressions: list[str] = []
+    notes: list[str] = []
+    if baseline.get("scale") != payload.get("scale"):
+        regressions.append(
+            f"scale mismatch: baseline {baseline.get('scale')} vs "
+            f"run {payload.get('scale')}"
+        )
+        return regressions, notes
+    covered_workloads = set(payload.get("workloads", ()))
+    covered_policies = set(payload.get("policies", ()))
+    for name, want in sorted(expected.items()):
+        if name not in actual:
+            # A subset sweep (CI smoke) only answers for the cells it ran:
+            # baseline cells outside the run's grid are not regressions.
+            _, workload, label, _ = name.split(".", 3)
+            if workload not in covered_workloads or label not in covered_policies:
+                continue
+            regressions.append(f"{name}: missing from run (baseline {want:.6g})")
+            continue
+        got = actual[name]
+        rel = abs(got - want) / max(abs(want), 1e-12)
+        if rel > tol:
+            regressions.append(
+                f"{name}: {got:.6g} vs baseline {want:.6g} "
+                f"({rel * 100:+.1f}% > {tol * 100:.1f}% tolerance)"
+            )
+    for name in sorted(set(actual) - set(expected)):
+        notes.append(f"{name}: new metric {actual[name]:.6g} (not in baseline)")
+    return regressions, notes
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro policy",
+        description="Sweep IX-cache replacement policies (hit-rate vs tag-energy)",
+    )
+    parser.add_argument("--policies", default="",
+                        help="comma list; default = every registered policy")
+    parser.add_argument("--workloads", default=",".join(DEFAULT_WORKLOADS))
+    parser.add_argument("--scale", type=float, default=0.01)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--jobs", default="1")
+    parser.add_argument("--system", default=DEFAULT_SYSTEM,
+                        choices=("metal", "metal_ix"))
+    parser.add_argument("--no-tuned", action="store_true",
+                        help="skip the auto-tuned default-policy cells")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the payload as JSON instead of tables")
+    parser.add_argument("--baseline", default=BASELINE_DEFAULT_PATH)
+    parser.add_argument("--write-baseline", action="store_true")
+    parser.add_argument("--check", action="store_true",
+                        help="compare against --baseline; exit 2 missing, 3 regressed")
+    parser.add_argument("--baseline-rtol", type=float, default=None)
+    args = parser.parse_args(argv)
+
+    policies = tuple(p for p in args.policies.split(",") if p)
+    workloads = tuple(w for w in args.workloads.split(",") if w)
+    payload = sweep(
+        policies=policies,
+        workloads=workloads,
+        scale=args.scale,
+        seed=args.seed,
+        jobs=args.jobs,
+        system=args.system,
+        tuned=not args.no_tuned,
+    )
+
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(render(payload))
+
+    if args.write_baseline:
+        rtol = args.baseline_rtol if args.baseline_rtol is not None \
+            else BASELINE_DEFAULT_RTOL
+        write_baseline(args.baseline, payload, rtol)
+        print(f"baseline written to {args.baseline} (rtol {rtol})")
+        return 0
+    if args.check:
+        try:
+            with open(args.baseline) as f:
+                baseline = json.load(f)
+        except FileNotFoundError:
+            print(f"baseline {args.baseline} missing; run --write-baseline first")
+            return EXIT_BASELINE_MISSING
+        regressions, notes = compare_baseline(
+            baseline, payload, rtol=args.baseline_rtol
+        )
+        for note in notes:
+            print(f"note: {note}")
+        if regressions:
+            print(f"{len(regressions)} policy metric(s) regressed:")
+            for regression in regressions:
+                print(f"  {regression}")
+            return EXIT_REGRESSION
+        compared = len(
+            set(baseline.get("metrics", {})) & set(extract_key_metrics(payload))
+        )
+        print(f"policy gate ok: {compared} metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

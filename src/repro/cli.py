@@ -653,6 +653,31 @@ def cmd_ablation(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_policy(args: argparse.Namespace) -> int:
+    from repro.bench import policy_lab
+
+    argv = [
+        "--policies", args.policies,
+        "--workloads", args.workloads,
+        "--scale", str(args.scale),
+        "--seed", str(args.seed),
+        "--jobs", str(args.jobs),
+        "--system", args.system,
+        "--baseline", args.baseline,
+    ]
+    if args.no_tuned:
+        argv.append("--no-tuned")
+    if args.json:
+        argv.append("--json")
+    if args.write_baseline:
+        argv.append("--write-baseline")
+    if args.check:
+        argv.append("--check")
+    if args.baseline_rtol is not None:
+        argv += ["--baseline-rtol", str(args.baseline_rtol)]
+    return policy_lab.main(argv)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="METAL (ASPLOS'24) reproduction harness"
@@ -870,6 +895,30 @@ def build_parser() -> argparse.ArgumentParser:
                    help="percentile cutoff for the tail attribution "
                         "report (default 99)")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "policy",
+        help="replacement-policy lab: sweep policies x workloads, "
+             "Pareto (hit-rate vs tag-energy), BENCH_policy.json gate",
+    )
+    p.add_argument("--policies", default="",
+                   help="comma list; default = every registered policy")
+    p.add_argument("--workloads",
+                   default=",".join(
+                       ("scan", "select", "sets_s", "rtree")))
+    p.add_argument("--scale", type=float, default=0.01)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--jobs", default="1")
+    p.add_argument("--system", default="metal", choices=("metal", "metal_ix"))
+    p.add_argument("--no-tuned", action="store_true",
+                   help="skip the auto-tuned default-policy cells")
+    p.add_argument("--json", action="store_true")
+    p.add_argument("--baseline", default="BENCH_policy.json")
+    p.add_argument("--write-baseline", action="store_true")
+    p.add_argument("--check", action="store_true",
+                   help="compare against --baseline; exit 2 missing, 3 regressed")
+    p.add_argument("--baseline-rtol", type=float, default=None)
+    p.set_defaults(func=cmd_policy)
 
     p = sub.add_parser("ablation", help="design-choice ablations")
     p.add_argument("--workload", default="scan", choices=sorted(WORKLOAD_BUILDERS))

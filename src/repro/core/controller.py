@@ -25,6 +25,7 @@ from repro.core.descriptors import (
     WalkContext,
 )
 from repro.core.ix_cache import IXCache
+from repro.core.policy import ThresholdTuner
 from repro.indexes.base import IndexNode
 from repro.obs.tracer import NULL_TRACER
 
@@ -43,6 +44,7 @@ class PatternController:
         cache: IXCache,
         batch_walks: int = 1_000,
         tune: bool = True,
+        tuner: ThresholdTuner | None = None,
     ) -> None:
         if batch_walks <= 0:
             raise ValueError("batch_walks must be positive")
@@ -56,11 +58,13 @@ class PatternController:
         self.cache = cache
         self.batch_walks = batch_walks
         self.tune = tune
+        self.tuner = tuner
         self.tracer = NULL_TRACER
         self._walks_in_batch = 0
         self._insertions_by_level: Counter[int] = Counter()
         self._batch_start_stats = (0, 0)  # (accesses, hits)
         self._batch_start_hit_levels: Counter[int] = Counter()
+        self._batch_start_churn = (0, 0)  # (evictions, insertions)
         #: One entry per completed batch: descriptor params + batch stats.
         self.history: list[dict[str, Any]] = []
 
@@ -124,18 +128,36 @@ class PatternController:
             if self.tune:
                 descriptor.tune(feedback)
             described.append(descriptor.describe())
-        self.history.append(
-            {
-                "walks": self._walks_in_batch,
-                "hit_rate": feedback.hit_rate,
-                "occupancy": feedback.occupancy,
-                "descriptors": described,
-            }
-        )
+        entry: dict[str, Any] = {
+            "walks": self._walks_in_batch,
+            "hit_rate": feedback.hit_rate,
+            "occupancy": feedback.occupancy,
+            "descriptors": described,
+        }
+        if self.tuner is not None:
+            # Churn = fraction of this batch's insertions that forced an
+            # eviction. High churn means admission is too permissive for
+            # the working set; low churn means we can afford to admit more.
+            evictions0, insertions0 = self._batch_start_churn
+            batch_evictions = stats.evictions - evictions0
+            batch_insertions = stats.insertions - insertions0
+            churn = (
+                (batch_evictions / batch_insertions) if batch_insertions else 0.0
+            )
+            thresholds: list[int] = []
+            for descriptor in self._all_descriptors():
+                current = descriptor.admission_threshold()
+                proposed = self.tuner.propose(churn, current)
+                if proposed != current:
+                    descriptor.set_admission_threshold(proposed)
+                thresholds.append(descriptor.admission_threshold())
+            entry["tuner"] = {"churn": churn, "thresholds": thresholds}
+        self.history.append(entry)
         self._walks_in_batch = 0
         self._insertions_by_level.clear()
         self._batch_start_stats = (stats.accesses, stats.hits)
         self._batch_start_hit_levels = Counter(self.cache.hit_levels)
+        self._batch_start_churn = (stats.evictions, stats.insertions)
         if self.tracer.enabled:
             self.tracer.emit("batch_tuned", batch=len(self.history),
                              hit_rate=feedback.hit_rate,

@@ -111,6 +111,18 @@ class ReuseDescriptor(ABC):
         """Current parameter values (recorded per batch for Fig. 22)."""
         return {}
 
+    def admission_threshold(self) -> int:
+        """Current admission strictness (1 = admit everything eligible).
+
+        The online :class:`~repro.core.policy.ThresholdTuner` drives this
+        knob from batch churn; each pattern maps it onto its own selectivity
+        parameter (touch-filter min_touches, branch depth).
+        """
+        return 1
+
+    def set_admission_threshold(self, n: int) -> None:
+        """Apply a tuner-proposed strictness; no-op for fixed patterns."""
+
 
 class NodeDescriptor(ReuseDescriptor):
     """Target a single level, bypass everything else, pin by lifetime.
@@ -159,6 +171,16 @@ class NodeDescriptor(ReuseDescriptor):
 
     def describe(self) -> dict[str, Any]:
         return {"pattern": "node", "target": self.target}
+
+    def admission_threshold(self) -> int:
+        return self._filter.min_touches if self._filter is not None else 1
+
+    def set_admission_threshold(self, n: int) -> None:
+        n = max(1, n)
+        if self._filter is not None:
+            self._filter.min_touches = n
+        elif n > 1:
+            self._filter = TouchFilter(min_touches=n)
 
 
 def _default_life(node: IndexNode) -> int:
@@ -282,6 +304,12 @@ class LevelDescriptor(ReuseDescriptor):
     def describe(self) -> dict[str, Any]:
         return {"pattern": "level", "start": self.start, "end": self.end}
 
+    def admission_threshold(self) -> int:
+        return self._filter.min_touches
+
+    def set_admission_threshold(self, n: int) -> None:
+        self._filter.min_touches = max(1, n)
+
 
 class BranchDescriptor(ReuseDescriptor):
     """Cache sub-branches around the moving median of recent keys.
@@ -355,6 +383,14 @@ class BranchDescriptor(ReuseDescriptor):
             "halfwidth": self.halfwidth,
         }
 
+    def admission_threshold(self) -> int:
+        # Strictness is inverse depth: the strictest setting caches only
+        # the leaf fringe (depth 1), the laxest the whole branch.
+        return max(1, self.max_depth + 1 - self.depth)
+
+    def set_admission_threshold(self, n: int) -> None:
+        self.depth = min(self.max_depth, max(1, self.max_depth + 1 - max(1, n)))
+
 
 class CompositeDescriptor(ReuseDescriptor):
     """Combine descriptors (Level+Branch, Node+Branch in Table 2).
@@ -393,6 +429,13 @@ class CompositeDescriptor(ReuseDescriptor):
 
     def describe(self) -> dict[str, Any]:
         return {"pattern": "composite", "members": [m.describe() for m in self.members]}
+
+    def admission_threshold(self) -> int:
+        return max(m.admission_threshold() for m in self.members)
+
+    def set_admission_threshold(self, n: int) -> None:
+        for member in self.members:
+            member.set_admission_threshold(n)
 
 
 __all__ = [

@@ -25,13 +25,22 @@ from operator import attrgetter
 from typing import Any
 
 from repro.core.packing import blocks_needed, coalesced_tag, pack_node
+from repro.core.policy import (
+    UTILITY_INSERT,
+    UTILITY_MAX,
+    ReplacementPolicy,
+    UtilityRRIPPolicy,
+    make_policy,
+)
 from repro.core.range_tag import RangeTag
 from repro.indexes.base import IndexNode
 from repro.mem.stats import CacheStats
 from repro.obs.tracer import NULL_TRACER
 from repro.params import BLOCK_SIZE, NS_STRIDE, CacheParams, IXCACHE_ENERGY_FJ
 
-_UTILITY_MAX = 15  # 4-bit saturating counter
+#: Back-compat aliases: the counter geometry now lives in repro.core.policy
+#: (the hot loops in repro.sim.memsys import the max through here).
+_UTILITY_MAX = UTILITY_MAX
 _entry_seq = itertools.count()
 _entry_level = attrgetter("tag.level")
 
@@ -57,15 +66,19 @@ def block_bits_for(key_universe: int, params: CacheParams | None = None,
     return max(4, per_set.bit_length() - 1)
 
 
-#: Utility a fresh entry starts with: high enough to survive a few
-#: evictions until its first re-hit (SRRIP-style insertion position).
-_UTILITY_INSERT = 3
+#: Utility a fresh entry starts with (see repro.core.policy).
+_UTILITY_INSERT = UTILITY_INSERT
 
 
 class IXEntry:
-    """One cache block: a match tag and the node(s) packed behind it."""
+    """One cache block: a match tag and the node(s) packed behind it.
 
-    __slots__ = ("tag", "parts", "utility", "life", "nbytes", "seq")
+    ``utility`` is the paper's 4-bit saturating counter; ``stamp`` is a
+    policy-defined scratch word (LRU tick, hit count — see
+    :mod:`repro.core.policy`) that the default policy never touches.
+    """
+
+    __slots__ = ("tag", "parts", "utility", "life", "nbytes", "seq", "stamp")
 
     def __init__(self, tag: RangeTag, parts: list[tuple[RangeTag, IndexNode]], life: int = 0):
         self.tag = tag
@@ -74,6 +87,7 @@ class IXEntry:
         self.life = life
         self.nbytes = sum(min(n.byte_size(), BLOCK_SIZE) for _, n in parts)
         self.seq = next(_entry_seq)
+        self.stamp = 0
 
     def select(self, key: int) -> IndexNode | None:
         """Pick the constituent node whose exact range covers the key."""
@@ -105,10 +119,17 @@ class IXCache:
         associative: bool = True,
         coalesce: bool = True,
         partition: dict[int, int] | None = None,
+        policy: "str | ReplacementPolicy" = "utility_rrip",
     ) -> None:
         self.params = params or CacheParams(e_access=IXCACHE_ENERGY_FJ)
         self.stats = CacheStats()
         self.tracer = NULL_TRACER
+        #: Replacement policy (repro.core.policy): victim selection and
+        #: per-entry metadata maintenance. The default reproduces the
+        #: paper's utility scheme byte-for-byte; the hot paths keep their
+        #: inlined counter updates for it and dispatch for everything else.
+        self.policy = make_policy(policy)
+        self._default_policy = type(self.policy) is UtilityRRIPPolicy
         self.key_block_bits = key_block_bits
         self.replication_limit = replication_limit
         self.associative = associative
@@ -209,8 +230,11 @@ class IXCache:
         hit = best_node is not None
         self.stats.record(hit)
         if hit and best_entry is not None:
-            if best_entry.utility < _UTILITY_MAX:
-                best_entry.utility += 1
+            if self._default_policy:
+                if best_entry.utility < _UTILITY_MAX:
+                    best_entry.utility += 1
+            else:
+                self.policy.on_hit(best_entry)
             if best_entry.life > 0:
                 best_entry.life -= 1
             self.hit_levels[best_entry.tag.level] += 1
@@ -304,7 +328,10 @@ class IXCache:
             if entry.tag == tag:
                 for _, part_node in entry.parts:
                     if part_node is node:
-                        entry.utility = min(_UTILITY_MAX, entry.utility + 1)
+                        if self._default_policy:
+                            entry.utility = min(_UTILITY_MAX, entry.utility + 1)
+                        else:
+                            self.policy.on_hit(entry)
                         entry.life = max(entry.life, life)
                         return True
         block_bytes = self.params.block_bytes
@@ -350,7 +377,7 @@ class IXCache:
             if len(owned) >= self.partition[owner]:
                 # Quota full: the index may only displace its own entries.
                 victims = [e for e in owned if not e.pinned] or owned
-                victim = min(victims, key=lambda e: (e.utility, e.seq))
+                victim = self.policy.select_victim(victims)
                 ways.remove(victim)
                 self.stats.evictions += 1
                 if self.tracer.enabled:
@@ -361,7 +388,12 @@ class IXCache:
             if self.tracer.enabled:
                 self.tracer.emit("ix_bypass", level=tag.level, reason="pinned_set")
             return False
-        ways.append(IXEntry(tag, [(tag, node)], life))
+        entry = IXEntry(tag, [(tag, node)], life)
+        if not self._default_policy:
+            # The default's insertion metadata (utility 3) is already set
+            # by the IXEntry constructor; other policies stamp here.
+            self.policy.on_insert(entry)
+        ways.append(entry)
         self.stats.insertions += 1
         if self.tracer.enabled:
             self.tracer.emit("ix_insert", level=tag.level,
@@ -371,14 +403,20 @@ class IXCache:
     def _place_wide(self, tag: RangeTag, node: IndexNode, life: int) -> bool:
         for entry in self._wide:
             if entry.tag == tag and any(n is node for _, n in entry.parts):
-                entry.utility = min(_UTILITY_MAX, entry.utility + 1)
+                if self._default_policy:
+                    entry.utility = min(_UTILITY_MAX, entry.utility + 1)
+                else:
+                    self.policy.on_hit(entry)
                 return True
         if len(self._wide) >= self.wide_capacity and not self._evict_from(self._wide):
             self.stats.bypasses += 1
             if self.tracer.enabled:
                 self.tracer.emit("ix_bypass", level=tag.level, reason="pinned_wide")
             return False
-        self._wide.append(IXEntry(tag, [(tag, node)], life))
+        entry = IXEntry(tag, [(tag, node)], life)
+        if not self._default_policy:
+            self.policy.on_insert(entry)
+        self._wide.append(entry)
         self.stats.insertions += 1
         if self.tracer.enabled:
             self.tracer.emit("ix_insert", level=tag.level,
@@ -386,11 +424,13 @@ class IXCache:
         return True
 
     def _evict_from(self, entries: list[IXEntry]) -> bool:
-        """Evict the lowest-utility unpinned entry.
+        """Evict one entry chosen by the replacement policy.
 
-        Survivors are renormalized by the victim's utility (RRIP-style):
-        entries that keep getting hit stay near the top of the counter
-        range while streaming one-touch insertions churn at the bottom.
+        Unpinned entries are the candidate pool; the policy picks the
+        victim and then ages the survivors (``epoch_decay`` — RRIP-style
+        renormalization for the default policy): entries that keep
+        getting hit stay near the top of the counter range while
+        streaming one-touch insertions churn at the bottom.
         """
         victims = [e for e in entries if e.life <= 0]
         if not victims:
@@ -403,8 +443,14 @@ class IXCache:
             if self.tracer.enabled:
                 self.tracer.emit("ix_evict", level=victim.tag.level,
                                  reason="pinned_reclaim")
+            # Survivors age on this path exactly as on the unpinned path:
+            # a fully-pinned, saturated set (common in the wide array,
+            # whose near-root entries carry long lifetimes) must not stay
+            # permanently fresher than set entries under the same
+            # eviction pressure.
+            self.policy.epoch_decay(entries, victim)
             return True
-        victim = min(victims, key=lambda e: (e.utility, e.seq))
+        victim = self.policy.select_victim(victims)
         entries.remove(victim)
         self.stats.evictions += 1
         if self.tracer.enabled:
@@ -416,11 +462,7 @@ class IXCache:
                 # decay under eviction pressure so entries whose expected
                 # accesses never arrive become reclaimable.
                 entry.life -= 1
-        if victim.utility > 0:
-            # Age survivors one notch per forced eviction so stale
-            # saturated entries eventually become evictable.
-            for entry in entries:
-                entry.utility = max(0, entry.utility - 1)
+        self.policy.epoch_decay(entries, victim)
         return True
 
     # ------------------------------------------------------------------ #
@@ -477,6 +519,9 @@ class IXCache:
     def clear(self) -> None:
         self._sets = [[] for _ in range(self.num_sets)]
         self._wide = []
+        # Cross-entry policy state (LRU ticks, step counters) resets with
+        # the contents: a cleared cache must behave like a fresh one.
+        self.policy.clear()
 
     @staticmethod
     def entries_for(node: IndexNode) -> int:

@@ -17,6 +17,7 @@ from typing import Callable
 from repro.core.controller import PatternController
 from repro.core.descriptors import ReuseDescriptor, WalkContext
 from repro.core.ix_cache import IXCache
+from repro.core.policy import ThresholdTuner
 from repro.indexes.base import IndexNode
 from repro.params import CacheParams, IXCACHE_ENERGY_FJ
 
@@ -88,9 +89,12 @@ class Metal(MetalIX):
         params: CacheParams | None = None,
         batch_walks: int = 1_000,
         tune: bool = True,
+        tuner: ThresholdTuner | dict | None = None,
         **cache_kwargs,
     ) -> None:
         super().__init__(params, **cache_kwargs)
+        if isinstance(tuner, dict):
+            tuner = ThresholdTuner(**tuner)
         self.controller = PatternController(
-            descriptors, self.cache, batch_walks=batch_walks, tune=tune
+            descriptors, self.cache, batch_walks=batch_walks, tune=tune, tuner=tuner
         )

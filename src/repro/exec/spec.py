@@ -79,6 +79,14 @@ class RunSpec:
     #: build_memsys overrides (tune, batch_walks, coalesce, ...) plus the
     #: virtual ``batch_windows`` (batch_walks from a window count).
     memsys_kwargs: KwargItems = ()
+    #: IX-cache replacement policy (repro.core.policy registry name). Only
+    #: the METAL systems honor non-default values; the default keeps every
+    #: digest-relevant byte identical to specs that predate the field.
+    policy: str = "utility_rrip"
+    #: Online admission-threshold tuner config (ThresholdTuner ctor kwargs
+    #: as sorted items, same canonical form as the *_kwargs fields). ()
+    #: means no tuner. Metal-only, like ``policy``.
+    tuner: KwargItems = ()
     #: Replay an external walk trace (trace_io JSONL, ``.gz`` ok) instead
     #: of the workload's own request stream. The workload still builds —
     #: the trace re-binds to its indexes by name (index0, index1...).
@@ -113,7 +121,7 @@ class RunSpec:
             # A FaultPlan instance: take its canonical sorted items.
             kwargs["faults"] = faults.items()
         for name in ("workload_kwargs", "sim_kwargs", "cache_kwargs",
-                     "memsys_kwargs", "faults"):
+                     "memsys_kwargs", "faults", "tuner"):
             if name in kwargs:
                 kwargs[name] = _freeze_kwargs(kwargs[name], name)
         if kwargs.get("requests_slice") is not None:

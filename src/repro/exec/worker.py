@@ -147,6 +147,18 @@ def _execute_run(spec: RunSpec) -> dict[str, Any]:
         requests = schedule(requests, spec.schedule)
 
     overrides = dict(spec.memsys_kwargs)
+    if spec.policy != "utility_rrip" or spec.tuner:
+        if spec.system not in ("metal", "metal_ix"):
+            raise ValueError(
+                f"policy/tuner overrides only apply to METAL systems, "
+                f"got system {spec.system!r}"
+            )
+        if spec.policy != "utility_rrip":
+            overrides["policy"] = spec.policy
+        if spec.tuner:
+            if spec.system != "metal":
+                raise ValueError("tuner needs the pattern controller (metal)")
+            overrides["tuner"] = dict(spec.tuner)
     tune = overrides.pop("tune", True)
     batch_walks = overrides.pop("batch_walks", None)
     batch_windows = overrides.pop("batch_windows", None)

@@ -724,6 +724,10 @@ class MetalMemSys(MemorySystem):
         cache_insert = cache.insert
         cache_stats = cache.stats
         cache_tracer = cache.tracer
+        # Replacement-policy dispatch, hoisted like the rest: the default
+        # keeps its inlined counter bump; other policies get their on_hit.
+        default_policy = cache._default_policy
+        policy_on_hit = cache.policy.on_hit
         sets = cache._sets
         wide = cache._wide
         kbb = cache.key_block_bits
@@ -803,8 +807,11 @@ class MetalMemSys(MemorySystem):
                             break
                     if start is not None:
                         hits += 1
-                        if entry.utility < _UTILITY_MAX:
-                            entry.utility += 1
+                        if default_policy:
+                            if entry.utility < _UTILITY_MAX:
+                                entry.utility += 1
+                        else:
+                            policy_on_hit(entry)
                         if entry.life > 0:
                             entry.life -= 1
                         hit_levels[entry.tag.level] += 1
